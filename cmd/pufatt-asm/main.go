@@ -1,0 +1,80 @@
+// Command pufatt-asm assembles, disassembles, and runs programs for the
+// PUFatt prover MCU (the 32-bit CPU with the pstart/pend PUF extension).
+//
+// Usage:
+//
+//	pufatt-asm prog.s                 # assemble, print listing
+//	pufatt-asm -run prog.s            # assemble and execute (with PUF port)
+//	pufatt-asm -gen attest.s          # emit the generated attestation program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pufatt/internal/core"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+	"pufatt/internal/swatt"
+)
+
+func main() {
+	var (
+		run      = flag.Bool("run", false, "execute the program after assembling")
+		gen      = flag.Bool("gen", false, "emit the generated attestation program instead of reading a file")
+		memWords = flag.Int("mem", 8192, "memory size for -run")
+		maxCyc   = flag.Uint64("maxcycles", 100_000_000, "cycle budget for -run")
+		freq     = flag.Float64("freq", 100e6, "clock frequency for -run (Hz)")
+		seed     = flag.Uint64("seed", 1, "device seed for the PUF port")
+	)
+	flag.Parse()
+
+	if *gen {
+		src, err := swatt.GenerateProgram(swatt.DefaultParams())
+		check(err)
+		fmt.Print(src)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pufatt-asm [-run] [-gen] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	check(err)
+	prog, err := mcu.Assemble(string(src))
+	check(err)
+
+	fmt.Printf("; %d words\n", len(prog.Words))
+	for addr, w := range prog.Words {
+		fmt.Printf("%5d: %08x  %s\n", addr, w, mcu.Disassemble(w))
+	}
+	if !*run {
+		return
+	}
+	mem := make([]uint32, *memWords)
+	copy(mem, prog.Words)
+	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), 0)
+	check(err)
+	port, err := mcu.NewDevicePort(dev)
+	check(err)
+	port.SetClock(*freq)
+	cpu := mcu.New(mem, *freq, port)
+	err = cpu.Run(*maxCyc)
+	fmt.Printf("\nhalted=%v cycles=%d time=%.6fs\n", cpu.Halted(), cpu.Cycles, cpu.TimeSeconds())
+	for r := 0; r < 16; r += 4 {
+		fmt.Printf("r%-2d=%08x r%-2d=%08x r%-2d=%08x r%-2d=%08x\n",
+			r, cpu.Regs[r], r+1, cpu.Regs[r+1], r+2, cpu.Regs[r+2], r+3, cpu.Regs[r+3])
+	}
+	if helpers := port.DrainHelpers(); len(helpers) > 0 {
+		fmt.Printf("helper words: %d\n", len(helpers))
+	}
+	check(err)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pufatt-asm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command pufatt-attest runs the PUFatt remote attestation protocol. It
+// can act as the embedded prover (a TCP service wrapping the simulated
+// device), as the verifier (holding the emulation model), or run both sides
+// in-process for a quick demonstration.
+//
+// Usage:
+//
+//	pufatt-attest -mode local -sessions 3
+//	pufatt-attest -mode prove -listen :7701 &
+//	pufatt-attest -mode verify -connect localhost:7701 -sessions 5
+//
+// Prover and verifier must agree on -seed/-chip (the manufactured device
+// and its enrolled model) and the attestation parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"pufatt/internal/attest"
+	"pufatt/internal/core"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+	"pufatt/internal/swatt"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "local", "local, prove, or verify")
+		listen   = flag.String("listen", ":7701", "prover listen address")
+		connect  = flag.String("connect", "localhost:7701", "verifier target address")
+		sessions = flag.Int("sessions", 3, "attestation sessions to run")
+		seed     = flag.Uint64("seed", 1, "device manufacturing seed")
+		chip     = flag.Int("chip", 0, "chip id")
+		chunks   = flag.Int("chunks", 16, "checksum chunks")
+		blocks   = flag.Int("blocks", 16, "blocks per chunk")
+		memWords = flag.Int("mem", 4096, "attested words (power of two)")
+		infect   = flag.Bool("infect", false, "tamper the prover's memory (should be rejected)")
+	)
+	flag.Parse()
+
+	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
+	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)
+	check(err)
+	port, err := mcu.NewDevicePort(dev)
+	check(err)
+	payload := make([]uint32, 512)
+	paySrc := rng.New(*seed).Sub("payload")
+	for i := range payload {
+		payload[i] = paySrc.Uint32()
+	}
+	image, err := swatt.BuildImage(params, payload)
+	check(err)
+	prover := attest.NewProver(image.Clone(), port, 1)
+	prover.TuneClock(0.98)
+	if *infect {
+		for i := 0; i < 64; i++ {
+			prover.Image.Mem[image.Layout.PayloadAddr+i] ^= 0xFF
+		}
+		fmt.Println("prover memory tampered: 64 payload words flipped")
+	}
+
+	newVerifier := func() *attest.Verifier {
+		v, err := attest.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
+		check(err)
+		return v
+	}
+
+	switch *mode {
+	case "local":
+		v := newVerifier()
+		link := attest.DefaultLink()
+		fmt.Printf("device: chip %d, clock %.1f MHz, δ = %.4fs, link %s\n",
+			dev.ChipID(), prover.FreqHz/1e6, v.Delta(), link)
+		for i := 0; i < *sessions; i++ {
+			res, err := attest.RunSession(v, prover, link)
+			check(err)
+			report(i, res)
+		}
+	case "prove":
+		addr, closeLn, err := attest.ListenAndServe(*listen, prover)
+		check(err)
+		defer closeLn()
+		fmt.Printf("prover (chip %d, %.1f MHz) listening on %s\n", dev.ChipID(), prover.FreqHz/1e6, addr)
+		select {} // serve forever
+	case "verify":
+		v := newVerifier()
+		conn, err := net.Dial("tcp", *connect)
+		check(err)
+		defer conn.Close()
+		fmt.Printf("verifier connected to %s, δ = %.4fs\n", *connect, v.Delta())
+		for i := 0; i < *sessions; i++ {
+			res, err := attest.Request(conn, v, attest.DefaultLink())
+			check(err)
+			report(i, res)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pufatt-attest: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func report(i int, res attest.Result) {
+	verdict := "REJECTED"
+	if res.Accepted {
+		verdict = "accepted"
+	}
+	fmt.Printf("session %d: %s (elapsed %.4fs, δ %.4fs) %s\n", i+1, verdict, res.Elapsed, res.Delta, res.Reason)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pufatt-attest:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Command pufatt-rtl emits the ALU PUF datapath as synthesizable
+// structural Verilog: the two-adder core netlist plus the sequential shell
+// (synchronization launch registers and per-bit arbiters) of the paper's
+// Figure 1. The output is the starting point for an actual FPGA/ASIC flow;
+// the symmetry constraints and PDL tuning of Section 4.1 are applied at
+// placement, not in the RTL.
+//
+// Usage:
+//
+//	pufatt-rtl -width 16 > alupuf.v
+//	pufatt-rtl -width 32 -adder cla -module my_puf -o my_puf.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pufatt/internal/netlist"
+	"pufatt/internal/verilog"
+)
+
+func main() {
+	var (
+		width  = flag.Int("width", 16, "PUF operand width")
+		adder  = flag.String("adder", "rca", "adder architecture: rca or cla")
+		module = flag.String("module", "alupuf", "top module name")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	kind := netlist.AdderRCA
+	switch *adder {
+	case "rca":
+	case "cla":
+		kind = netlist.AdderCLA
+	default:
+		fmt.Fprintf(os.Stderr, "pufatt-rtl: unknown adder %q (want rca or cla)\n", *adder)
+		os.Exit(2)
+	}
+	dp := netlist.BuildPUFDatapath(netlist.PUFDatapathConfig{Width: *width, Adder: kind})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pufatt-rtl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := verilog.EmitPUFTop(w, dp, *module); err != nil {
+		fmt.Fprintln(os.Stderr, "pufatt-rtl:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s: %d-bit %s ALU PUF (%d gates)\n",
+			*out, *width, kind, dp.Net.LogicGates())
+	}
+}

@@ -1,0 +1,100 @@
+// Sensor-network fleet attestation: the motivating deployment of the
+// paper's introduction. A base station (verifier) holds the emulation model
+// of every enrolled node; it periodically sweeps the fleet, and a node whose
+// firmware was modified in the field is pinpointed — without any per-node
+// cryptographic keys or secure hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pufatt"
+)
+
+const fleetSize = 6
+
+type node struct {
+	id     int
+	prover *pufatt.Prover
+	port   *pufatt.DevicePort
+}
+
+func main() {
+	params := pufatt.AttestParams{MemWords: 1024, Chunks: 8, BlocksPerChunk: 8}
+	firmware := make([]uint32, 400)
+	for i := range firmware {
+		firmware[i] = pufatt.Mix32(uint32(i) ^ 0x5e75ed)
+	}
+	image, err := pufatt.BuildAttestationImage(params, firmware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := pufatt.NewDesign(pufatt.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Manufacture and enroll the fleet. Every node runs the SAME firmware
+	// image; only the silicon differs — and that difference is the
+	// authentication anchor.
+	fleet := pufatt.NewFleet()
+	var nodes []*node
+	link := pufatt.DefaultLink()
+	for id := 0; id < fleetSize; id++ {
+		dev, err := pufatt.NewDevice(design, 1000, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		port, err := pufatt.NewDevicePort(dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prover := pufatt.NewProver(image.Clone(), port, 1)
+		prover.TuneClock(0.98)
+		v, err := pufatt.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v.AllowNetwork(link)
+		if err := fleet.Enroll(id, v, prover); err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, &node{id: id, prover: prover, port: port})
+	}
+	fmt.Printf("enrolled %d nodes (emulation models extracted at manufacturing)\n\n", fleet.Size())
+
+	sweep := func(tag string) {
+		fmt.Printf("fleet sweep (%s):\n", tag)
+		results := fleet.Sweep(link)
+		for _, r := range results {
+			status := "OK      "
+			if !r.Healthy() {
+				status = "COMPROMISED"
+			}
+			fmt.Printf("  node %d: %s (%.1f ms)\n", r.NodeID, status, r.Result.Elapsed*1e3)
+		}
+		if bad := pufatt.Compromised(results); bad != nil {
+			fmt.Printf("  -> compromised nodes: %v\n", bad)
+		}
+		fmt.Println()
+	}
+
+	sweep("all nodes healthy")
+
+	// Node 3 is compromised in the field: 48 firmware words patched.
+	victim := nodes[3]
+	for i := 0; i < 48; i++ {
+		victim.prover.Image.Mem[image.Layout.PayloadAddr+40+i] ^= 0xA5A5
+	}
+	fmt.Println("node 3 firmware patched by an attacker...")
+	sweep("after compromise")
+
+	// The attacker 'cleans up' — restores the firmware. Attestation
+	// recovers, showing the sweep is a live integrity check, not a fuse.
+	for i := 0; i < 48; i++ {
+		victim.prover.Image.Mem[image.Layout.PayloadAddr+40+i] ^= 0xA5A5
+	}
+	fmt.Println("node 3 firmware restored...")
+	sweep("after restoration")
+}

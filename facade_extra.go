@@ -1,0 +1,204 @@
+package pufatt
+
+import (
+	"pufatt/internal/attacks"
+	"pufatt/internal/attest"
+	"pufatt/internal/fpga"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+	"pufatt/internal/slender"
+	"pufatt/internal/swatt"
+)
+
+// This file extends the facade with the FPGA-prototype and adversary
+// tooling, so example programs and downstream users can reach every
+// system the paper describes through the public API.
+
+// FPGA prototype types.
+type (
+	// FPGAConfig parameterises the Virtex-5 board model.
+	FPGAConfig = fpga.Config
+	// PDL is a programmable delay line.
+	PDL = fpga.PDL
+	// CalibrationReport summarises a PDL calibration run.
+	CalibrationReport = fpga.CalibrationReport
+	// SIRCChannel is the host↔fabric data-collection channel.
+	SIRCChannel = fpga.Channel
+	// ResourceRow is one line of the Table 1 resource comparison.
+	ResourceRow = fpga.ComponentRow
+)
+
+// Rand is the deterministic splittable random source the measurement
+// campaigns consume (calibration, CRP collection, sweeps).
+type Rand = rng.Source
+
+// NewRand returns a deterministic random source for measurement campaigns.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// DefaultFPGAConfig returns the calibrated two-board model configuration.
+func DefaultFPGAConfig() FPGAConfig { return fpga.DefaultConfig() }
+
+// NewFPGADesign builds the shared-bitstream ALU PUF design.
+func NewFPGADesign(cfg FPGAConfig) (*Design, error) { return fpga.NewDesign(cfg) }
+
+// NewFPGABoard programs one board with the design.
+func NewFPGABoard(design *Design, seed uint64, id int, cfg FPGAConfig) (*FPGABoard, error) {
+	return fpga.NewBoard(design, rng.New(seed), id, cfg)
+}
+
+// NewSIRCChannel attaches a data-collection channel to a board.
+func NewSIRCChannel(board *FPGABoard, bytesPerSecond float64) *SIRCChannel {
+	return fpga.NewChannel(board, bytesPerSecond)
+}
+
+// Table1 returns the FPGA resource comparison rows for a PUF width.
+func Table1(width int) ([]ResourceRow, error) { return fpga.Table1(width) }
+
+// FormatTable1 renders resource rows as an aligned table.
+func FormatTable1(rows []ResourceRow) string { return fpga.FormatTable1(rows) }
+
+// Adversary tooling.
+type (
+	// MLModel is a trained PUF modeling-attack model.
+	MLModel = attacks.MLModel
+	// ObfuscatedOracle exposes the obfuscated PUF interface to attacks.
+	ObfuscatedOracle = attacks.ObfuscatedOracle
+	// OracleProxyProver is the PUF-as-oracle outsourcing adversary.
+	OracleProxyProver = attacks.OracleProxyProver
+	// OverclockPoint is one sample of the overclocking corruption sweep.
+	OverclockPoint = attacks.OverclockPoint
+	// DevicePort couples a device to the MCU's pstart/pend instructions.
+	DevicePort = mcu.DevicePort
+)
+
+// TrainRawModel trains the logistic modeling attack on raw CRPs.
+func TrainRawModel(dev *Device, nTrain, epochs int, seed uint64) *MLModel {
+	return attacks.TrainRawModel(dev, nTrain, epochs, rng.New(seed))
+}
+
+// NewObfuscatedOracle wraps a device behind the obfuscation network.
+func NewObfuscatedOracle(dev *Device) (*ObfuscatedOracle, error) {
+	return attacks.NewObfuscatedOracle(dev)
+}
+
+// TrainObfuscatedModel trains the attack against the obfuscated interface.
+func TrainObfuscatedModel(oracle *ObfuscatedOracle, nTrain, epochs int, seed uint64) *MLModel {
+	return attacks.TrainObfuscatedModel(oracle, nTrain, epochs, rng.New(seed))
+}
+
+// EvaluateRawModel measures a raw model's per-bit accuracy on fresh CRPs.
+func EvaluateRawModel(m *MLModel, dev *Device, nTest int, seed uint64) float64 {
+	return m.AccuracyRaw(dev, nTest, rng.New(seed))
+}
+
+// EvaluateObfuscatedModel measures an obfuscated model's per-bit accuracy.
+func EvaluateObfuscatedModel(m *MLModel, oracle *ObfuscatedOracle, nTest int, seed uint64) float64 {
+	return m.AccuracyObfuscated(oracle, nTest, rng.New(seed))
+}
+
+// NewForgeryProver builds the memory-copy attack prover.
+func NewForgeryProver(expected *Image, malware []uint32, port *DevicePort, freqHz float64) (*Prover, error) {
+	return attacks.NewForgeryProver(expected, malware, port, freqHz)
+}
+
+// ForgeryOverheadCycles measures the forgery's extra cycles.
+func ForgeryOverheadCycles(expected *Image, votes int) (extra, honest, forged uint64, err error) {
+	return attacks.ForgeryOverheadCycles(expected, votes)
+}
+
+// OverclockSweep measures PUF response corruption across clock factors.
+func OverclockSweep(dev *Device, port *DevicePort, factors []float64, trials int, seed uint64) []OverclockPoint {
+	return attacks.OverclockSweep(dev, port, factors, trials, rng.New(seed))
+}
+
+// OracleAttackTime returns the proxy adversary's minimum elapsed time.
+func OracleAttackTime(chunks int, link Link) float64 {
+	return attacks.OracleAttackTime(chunks, link)
+}
+
+// Slender PUF authentication (reference [22]): lightweight device
+// authentication by substring matching, no error correction needed.
+type (
+	// SlenderParams configures the substring-matching protocol.
+	SlenderParams = slender.Params
+	// SlenderProver is the device side.
+	SlenderProver = slender.Prover
+	// SlenderVerifier is the emulation side.
+	SlenderVerifier = slender.Verifier
+	// SlenderOutcome reports one authentication decision.
+	SlenderOutcome = slender.Outcome
+)
+
+// DefaultSlenderParams returns the calibrated protocol configuration.
+func DefaultSlenderParams() SlenderParams { return slender.DefaultParams() }
+
+// NewSlenderProver wraps a device for substring-matching authentication.
+func NewSlenderProver(dev *Device, p SlenderParams) (*SlenderProver, error) {
+	return slender.NewProver(dev, p)
+}
+
+// NewSlenderVerifier wraps an emulator for substring-matching verification.
+func NewSlenderVerifier(em *Emulator, p SlenderParams) (*SlenderVerifier, error) {
+	return slender.NewVerifier(em, p)
+}
+
+// SlenderAuthenticate runs one authentication round.
+func SlenderAuthenticate(pr *SlenderProver, v *SlenderVerifier, src *Rand) (SlenderOutcome, error) {
+	return slender.Authenticate(pr, v, src)
+}
+
+// MCU / attestation-program tooling.
+
+// NewDevicePort couples a device to the pstart/pend instructions.
+func NewDevicePort(dev *Device) (*DevicePort, error) { return mcu.NewDevicePort(dev) }
+
+// GenerateAttestationProgram emits the SWATT-style checksum assembly.
+func GenerateAttestationProgram(p AttestParams) (string, error) {
+	return swatt.GenerateProgram(p)
+}
+
+// BuildAttestationImage assembles the attestation program plus payload.
+func BuildAttestationImage(p AttestParams, payload []uint32) (*Image, error) {
+	return swatt.BuildImage(p, payload)
+}
+
+// NewProver wraps an image and a port into the honest prover agent.
+func NewProver(image *Image, port *DevicePort, freqHz float64) *Prover {
+	return attest.NewProver(image, port, freqHz)
+}
+
+// NewVerifier builds the protocol verifier over a reference source.
+func NewVerifier(expected *Image, src ReferenceSource, baseFreqHz float64, votes int) (*Verifier, error) {
+	return attest.NewVerifier(expected, src, baseFreqHz, votes)
+}
+
+// ReferenceSource supplies verifier reference responses (Emulator or
+// CRPDatabase).
+type ReferenceSource = interface {
+	ReferenceResponse(seed uint64, j int) ([]uint8, error)
+	ResponseBits() int
+}
+
+// Fleet types for population attestation.
+type (
+	// Fleet manages attestation for a population of enrolled devices.
+	Fleet = attest.Fleet
+	// NodeResult is one node's sweep outcome.
+	NodeResult = attest.NodeResult
+)
+
+// NewFleet returns an empty device fleet.
+func NewFleet() *Fleet { return attest.NewFleet() }
+
+// Compromised filters a sweep's results down to the failing node ids.
+func Compromised(results []NodeResult) []int { return attest.Compromised(results) }
+
+// ServeProver answers attestation challenges on a TCP address; the returned
+// function closes the listener.
+func ServeProver(addr string, agent attest.ProverAgent) (string, func() error, error) {
+	a, closeFn, err := attest.ListenAndServe(addr, agent)
+	if err != nil {
+		return "", nil, err
+	}
+	return a.String(), closeFn, nil
+}

@@ -1,0 +1,3 @@
+module pufatt
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package attacks implements the adversaries of the paper's Section 4.2
+// security analysis, each as runnable code against the real protocol stack:
+//
+//   - Forgery (memory-copy attack): the prover's attested region is
+//     infected, but a modified checksum program redirects every memory read
+//     to a pristine copy, producing the correct checksum at the cost of
+//     extra cycles per round — which the time bound δ catches.
+//   - Overclocking: the forger raises the CPU clock to hide those extra
+//     cycles, which violates the PUF's setup-time condition and corrupts
+//     the PUF responses — which the response check catches.
+//   - PUF-oracle proxying: a fast external machine computes the checksum
+//     but must fetch every z from the device over its constrained link —
+//     which the bandwidth asymmetry catches.
+//   - Machine-learning modeling: logistic-regression modeling of the raw
+//     ALU PUF from observed CRPs, defeated by the XOR obfuscation network.
+package attacks
+
+import (
+	"fmt"
+
+	"pufatt/internal/attest"
+	"pufatt/internal/mcu"
+	"pufatt/internal/swatt"
+)
+
+// NewForgeryProver builds the memory-copy adversary: a prover whose
+// attested region holds malware (and the redirecting checksum program)
+// while a pristine copy of the expected memory sits above the scratch
+// region. It returns the adversarial prover; run it through the normal
+// protocol to observe the time-bound rejection.
+func NewForgeryProver(expected *swatt.Image, malware []uint32, port *mcu.DevicePort, freqHz float64) (*attest.Prover, error) {
+	img, err := swatt.BuildForgeryImage(expected.Layout.Params, expected, malware)
+	if err != nil {
+		return nil, fmt.Errorf("attacks: %w", err)
+	}
+	return attest.NewProver(img, port, freqHz), nil
+}
+
+// ForgeryOverheadCycles returns the extra cycles the forgery program costs
+// relative to the honest program, and both absolute counts. This is the
+// quantity the verifier's ComputeSlack must undercut.
+func ForgeryOverheadCycles(expected *swatt.Image, votes int) (extra, honest, forged uint64, err error) {
+	honest, err = swatt.ExpectedCycles(expected, votes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	fimg, err := swatt.BuildForgeryImage(expected.Layout.Params, expected, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	forged, err = swatt.ExpectedCycles(fimg, votes)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return forged - honest, honest, forged, nil
+}
+
+// OverclockFactorToHide returns the minimum clock-speedup factor an
+// adversary needs so the forged computation fits the honest time budget
+// (ignoring network terms): C_A/C_SWAT of Section 4.2's inequality.
+func OverclockFactorToHide(expected *swatt.Image, votes int, slack float64) (float64, error) {
+	extra, honest, forged, err := ForgeryOverheadCycles(expected, votes)
+	if err != nil {
+		return 0, err
+	}
+	_ = extra
+	return float64(forged) / (float64(honest) * (1 + slack)), nil
+}
+
+// NewOverclockedForgeryProver builds the combined adversary of Section 4.2:
+// the forgery prover with its CPU (and therefore the PUF latch clock)
+// overclocked by the given factor above the honest base frequency. With a
+// base frequency tuned to the PUF's reliability limit, the factor > 1
+// corrupts PUF responses and the attestation still fails — the paper's
+// headline security argument.
+func NewOverclockedForgeryProver(expected *swatt.Image, malware []uint32, port *mcu.DevicePort, baseFreqHz, factor float64) (*attest.Prover, error) {
+	p, err := NewForgeryProver(expected, malware, port, baseFreqHz*factor)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}

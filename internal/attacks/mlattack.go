@@ -1,0 +1,224 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+
+	"pufatt/internal/core"
+	"pufatt/internal/obfuscate"
+	"pufatt/internal/rng"
+)
+
+// This file implements the machine-learning modeling attack of Rührmair et
+// al. against the ALU PUF, and its evaluation against the XOR obfuscation
+// network (Section 2, "Response Obfuscation", and Section 4.1,
+// "Side-channel Attack Resiliency").
+//
+// The model is per-response-bit logistic regression over physically
+// motivated features: for each operand position, the operand bits
+// themselves plus the carry generate (a·b) and propagate (a⊕b) indicators
+// that govern the ripple-carry chain the ALU PUF races. This is the
+// additive-delay-model analogue for the ALU PUF's structure.
+
+// MLModel is a trained per-bit linear model of a PUF.
+type MLModel struct {
+	// width of the PUF operands; featureFn maps a challenge to features.
+	width    int
+	bits     int
+	weights  [][]float64
+	features func(challenge []uint8) []float64
+}
+
+// rawFeatures builds [bias, a_i, b_i, g_i, p_i] in ±1 encoding.
+func rawFeatures(width int) func([]uint8) []float64 {
+	return func(ch []uint8) []float64 {
+		f := make([]float64, 1+4*width)
+		f[0] = 1
+		pm := func(b uint8) float64 { return float64(b)*2 - 1 }
+		for i := 0; i < width; i++ {
+			a, b := ch[i], ch[width+i]
+			f[1+4*i] = pm(a)
+			f[2+4*i] = pm(b)
+			f[3+4*i] = pm(a & b)
+			f[4+4*i] = pm(a ^ b)
+		}
+		return f
+	}
+}
+
+// seedFeatures builds [bias, s_0..s_31] in ±1 encoding from a 32-bit
+// challenge seed, for attacking the obfuscated interface (the adversary
+// only controls the seed; the eight underlying raw challenges are derived
+// by the public expansion).
+func seedFeatures(seed uint32) []float64 {
+	f := make([]float64, 33)
+	f[0] = 1
+	for i := 0; i < 32; i++ {
+		f[1+i] = float64(seed>>uint(i)&1)*2 - 1
+	}
+	return f
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// trainLogistic runs SGD over the dataset (features xs, labels per bit ys).
+func trainLogistic(xs [][]float64, ys [][]uint8, bits, epochs int, lr float64, src *rng.Source) [][]float64 {
+	nf := len(xs[0])
+	w := make([][]float64, bits)
+	for b := range w {
+		w[b] = make([]float64, nf)
+	}
+	for e := 0; e < epochs; e++ {
+		order := src.Perm(len(xs))
+		for _, idx := range order {
+			x := xs[idx]
+			for b := 0; b < bits; b++ {
+				var dot float64
+				wb := w[b]
+				for i, xi := range x {
+					dot += wb[i] * xi
+				}
+				grad := float64(ys[idx][b]) - sigmoid(dot)
+				for i, xi := range x {
+					wb[i] += lr * grad * xi
+				}
+			}
+		}
+	}
+	return w
+}
+
+// TrainRawModel trains the modeling attack on nTrain observed raw CRPs of
+// the device (noiseless responses: the attacker's best case).
+func TrainRawModel(dev *core.Device, nTrain, epochs int, src *rng.Source) *MLModel {
+	width := dev.Design().Config().Width
+	bits := dev.Design().ResponseBits()
+	feat := rawFeatures(width)
+	xs := make([][]float64, nTrain)
+	ys := make([][]uint8, nTrain)
+	for k := 0; k < nTrain; k++ {
+		ch := dev.Design().ExpandChallenge(src.Uint64(), 0)
+		xs[k] = feat(ch)
+		ys[k] = append([]uint8(nil), dev.NoiselessResponse(ch)...)
+	}
+	return &MLModel{
+		width:    width,
+		bits:     bits,
+		weights:  trainLogistic(xs, ys, bits, epochs, 0.03, src.Sub("sgd")),
+		features: feat,
+	}
+}
+
+// Predict returns the model's response prediction for a challenge.
+func (m *MLModel) Predict(challenge []uint8) []uint8 {
+	x := m.features(challenge)
+	out := make([]uint8, m.bits)
+	for b := range out {
+		var dot float64
+		for i, xi := range x {
+			dot += m.weights[b][i] * xi
+		}
+		if dot > 0 {
+			out[b] = 1
+		}
+	}
+	return out
+}
+
+// AccuracyRaw measures per-bit prediction accuracy on nTest fresh
+// challenges against the device's noiseless responses.
+func (m *MLModel) AccuracyRaw(dev *core.Device, nTest int, src *rng.Source) float64 {
+	correct, total := 0, 0
+	for k := 0; k < nTest; k++ {
+		ch := dev.Design().ExpandChallenge(src.Uint64(), 0)
+		want := dev.NoiselessResponse(ch)
+		got := m.Predict(ch)
+		for i := range want {
+			if got[i] == want[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+// ObfuscatedOracle produces noiseless obfuscated outputs z for a seed — the
+// interface the adversary actually observes when the obfuscation network is
+// in place.
+type ObfuscatedOracle struct {
+	dev *core.Device
+	net *obfuscate.Network
+}
+
+// NewObfuscatedOracle wraps a device.
+func NewObfuscatedOracle(dev *core.Device) (*ObfuscatedOracle, error) {
+	bits := dev.Design().ResponseBits()
+	net, err := obfuscate.New(bits)
+	if err != nil {
+		return nil, fmt.Errorf("attacks: %w", err)
+	}
+	return &ObfuscatedOracle{dev: dev, net: net}, nil
+}
+
+// Z returns the noiseless obfuscated output for a seed.
+func (o *ObfuscatedOracle) Z(seed uint32) []uint8 {
+	rs := make([][]uint8, obfuscate.ResponsesPerOutput)
+	for j := range rs {
+		ch := o.dev.Design().ExpandChallenge(uint64(seed), j)
+		rs[j] = append([]uint8(nil), o.dev.NoiselessResponse(ch)...)
+	}
+	return o.net.MustApply(rs)
+}
+
+// TrainObfuscatedModel trains the same attack against the obfuscated
+// interface: seed in, z out.
+func TrainObfuscatedModel(oracle *ObfuscatedOracle, nTrain, epochs int, src *rng.Source) *MLModel {
+	bits := oracle.dev.Design().ResponseBits()
+	xs := make([][]float64, nTrain)
+	ys := make([][]uint8, nTrain)
+	for k := 0; k < nTrain; k++ {
+		seed := uint32(src.Uint64())
+		xs[k] = seedFeatures(seed)
+		ys[k] = oracle.Z(seed)
+	}
+	return &MLModel{
+		width:    32,
+		bits:     bits,
+		weights:  trainLogistic(xs, ys, bits, epochs, 0.03, src.Sub("sgd")),
+		features: func(ch []uint8) []float64 { panic("attacks: obfuscated model predicts from seeds") },
+	}
+}
+
+// PredictZ returns the obfuscated model's prediction for a seed.
+func (m *MLModel) PredictZ(seed uint32) []uint8 {
+	x := seedFeatures(seed)
+	out := make([]uint8, m.bits)
+	for b := range out {
+		var dot float64
+		for i, xi := range x {
+			dot += m.weights[b][i] * xi
+		}
+		if dot > 0 {
+			out[b] = 1
+		}
+	}
+	return out
+}
+
+// AccuracyObfuscated measures the obfuscated model on fresh seeds.
+func (m *MLModel) AccuracyObfuscated(oracle *ObfuscatedOracle, nTest int, src *rng.Source) float64 {
+	correct, total := 0, 0
+	for k := 0; k < nTest; k++ {
+		seed := uint32(src.Uint64())
+		want := oracle.Z(seed)
+		got := m.PredictZ(seed)
+		for i := range want {
+			if got[i] == want[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}

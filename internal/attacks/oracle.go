@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"fmt"
+
+	"pufatt/internal/attest"
+	"pufatt/internal/core"
+	"pufatt/internal/swatt"
+)
+
+// OracleProxyProver models the second prover-authentication attack of
+// Section 4.2: the adversary owns an arbitrarily fast external machine (we
+// charge it zero compute time) and full knowledge of the expected memory,
+// but it cannot clone the PUF — so for every chunk it must ship the PUF
+// challenge seed to the captured device and receive z plus the helper words
+// back over the device's constrained communication link. The per-chunk
+// round trips are what the time bound catches.
+type OracleProxyProver struct {
+	// Expected is the pristine memory the adversary checksums remotely.
+	Expected *swatt.Image
+	// Pipeline queries the captured device's real PUF.
+	Pipeline *core.Pipeline
+	// Link is the device's communication interface.
+	Link attest.Link
+}
+
+// oracleBitsPerChunk is the payload the proxy moves per chunk: the 32-bit
+// seed out; z (32 bits) plus eight helper words back.
+func oracleBitsPerChunk() (out, back int) {
+	return 32, 32 + 8*attest.HelperBitsPerWord
+}
+
+// Respond implements attest.ProverAgent.
+func (o *OracleProxyProver) Respond(ch attest.Challenge) (attest.Response, float64, error) {
+	p := o.Expected.Layout.Params
+	var helpers []uint64
+	var proxyTime float64
+	outBits, backBits := oracleBitsPerChunk()
+	tag, err := swatt.Checksum(o.Expected.Layout.AttestedRegion(o.Expected.Mem), ch.EffectiveNonce(), p,
+		func(seed uint32) (uint32, error) {
+			// Ship the seed to the device, wait for z + helpers.
+			proxyTime += o.Link.TransferSeconds(outBits) + o.Link.TransferSeconds(backBits)
+			out, err := o.Pipeline.Query(uint64(seed))
+			if err != nil {
+				return 0, err
+			}
+			helpers = append(helpers, out.Helpers...)
+			return uint32(out.ZWord()), nil
+		})
+	if err != nil {
+		return attest.Response{}, 0, fmt.Errorf("attacks: oracle proxy: %w", err)
+	}
+	return attest.Response{Session: ch.Session, Tag: tag, Helpers: helpers}, proxyTime, nil
+}
+
+// OracleAttackTime returns the adversary's minimum elapsed time for an
+// attestation with the given chunk count over the link, charging zero
+// compute: chunks × (seed out + z/helpers back).
+func OracleAttackTime(chunks int, link attest.Link) float64 {
+	out, back := oracleBitsPerChunk()
+	return float64(chunks) * (link.TransferSeconds(out) + link.TransferSeconds(back))
+}
+
+// BandwidthToBeatDelta returns the link bandwidth (bits/s) above which the
+// oracle attack fits inside the time bound delta, assuming the link latency
+// given. It returns +Inf when latency alone already exceeds delta.
+func BandwidthToBeatDelta(chunks int, latency, delta float64) float64 {
+	out, back := oracleBitsPerChunk()
+	latencyCost := float64(chunks) * 2 * latency
+	if latencyCost >= delta {
+		return -1 // impossible at any bandwidth
+	}
+	totalBits := float64(chunks * (out + back))
+	return totalBits / (delta - latencyCost)
+}

@@ -1,0 +1,58 @@
+package attacks
+
+import (
+	"pufatt/internal/core"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+// OverclockPoint is one sample of the overclocking sweep: the clock factor
+// relative to the PUF's maximum reliable frequency, and the resulting raw
+// PUF response corruption.
+type OverclockPoint struct {
+	Factor float64
+	// InvalidBitFraction is the fraction of response bits whose races had
+	// not resolved by the latch deadline.
+	InvalidBitFraction float64
+	// ResponseHD is the mean Hamming distance (bits) between the clocked
+	// response and the reliable-clock reference.
+	ResponseHD float64
+	// ChallengeCorruptFraction is the fraction of challenges for which at
+	// least one response bit failed to latch cleanly — the quantity that
+	// matters for a multi-query PUF() invocation.
+	ChallengeCorruptFraction float64
+}
+
+// OverclockSweep measures PUF response corruption across clock factors.
+// factor < 1 is a reliable clock; factor > 1 violates the setup condition
+// for at least the slowest challenges.
+func OverclockSweep(dev *core.Device, port *mcu.DevicePort, factors []float64, trials int, src *rng.Source) []OverclockPoint {
+	maxF := port.MaxReliableFreqHz()
+	setup := port.SetupPs
+	bits := dev.Design().ResponseBits()
+	out := make([]OverclockPoint, 0, len(factors))
+	for _, factor := range factors {
+		cycle := 1e12 / (maxF * factor)
+		var invalid, hd stats.Summary
+		corrupt := 0
+		chSrc := src.Sub("challenges") // same challenges per factor
+		for k := 0; k < trials; k++ {
+			ch := dev.Design().ExpandChallenge(chSrc.Uint64(), 0)
+			ref := append([]uint8(nil), dev.NoiselessResponse(ch)...)
+			resp, valid := dev.ClockedResponse(ch, cycle, setup)
+			invalid.Add(float64(bits-valid) / float64(bits))
+			if valid != bits {
+				corrupt++
+			}
+			hd.Add(float64(stats.HammingDistance(ref, resp)))
+		}
+		out = append(out, OverclockPoint{
+			Factor:                   factor,
+			InvalidBitFraction:       invalid.Mean(),
+			ResponseHD:               hd.Mean(),
+			ChallengeCorruptFraction: float64(corrupt) / float64(trials),
+		})
+	}
+	return out
+}

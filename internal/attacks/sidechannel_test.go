@@ -1,0 +1,96 @@
+package attacks
+
+import (
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+)
+
+func scFixture(t *testing.T) (*core.Device, *ObfuscatedOracle) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	dev := core.MustNewDevice(core.MustNewDesign(cfg), rng.New(70), 0)
+	oracle, err := NewObfuscatedOracle(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, oracle
+}
+
+func TestAggregatePowerLeakInsufficient(t *testing.T) {
+	// A global power trace leaks only the response Hamming weight; the
+	// z-composition needs near-perfect raw models, so the combined attack
+	// stays at the coin-flip floor. This is the honest negative result the
+	// obfuscation's designers rely on.
+	dev, oracle := scFixture(t)
+	m := TrainWithSideChannel(oracle, PowerModel{SigmaHW: 0.5}, 800, 15, rng.New(71))
+	raw := m.AccuracyRaw(dev, 300, rng.New(72))
+	z := SideChannelZAccuracy(m, oracle, 200, rng.New(73))
+	if raw < 0.55 {
+		t.Errorf("weight regression learned nothing at all: raw %.3f", raw)
+	}
+	if z > 0.6 {
+		t.Errorf("aggregate HW leak broke the obfuscation (z=%.3f); model too strong", z)
+	}
+}
+
+func TestPerBitEMLeakBreaksObfuscation(t *testing.T) {
+	// At per-latch resolution the side channel hands out noisy raw labels
+	// and the combined attack of [18] succeeds despite the XOR network.
+	dev, oracle := scFixture(t)
+	m := TrainWithSideChannel(oracle, PowerModel{SigmaHW: 0.3, PerBit: true}, 800, 15, rng.New(74))
+	raw := m.AccuracyRaw(dev, 300, rng.New(75))
+	z := SideChannelZAccuracy(m, oracle, 200, rng.New(76))
+	if raw < 0.95 {
+		t.Errorf("per-bit leak should give near-perfect raw models, got %.3f", raw)
+	}
+	if z < 0.85 {
+		t.Errorf("combined attack should defeat obfuscation, z=%.3f", z)
+	}
+}
+
+func TestDualRailCountermeasureRestoresSecurity(t *testing.T) {
+	dev, oracle := scFixture(t)
+	m := TrainWithSideChannel(oracle, PowerModel{SigmaHW: 0.3, PerBit: true, ConstantWeight: true}, 800, 15, rng.New(77))
+	z := SideChannelZAccuracy(m, oracle, 200, rng.New(78))
+	// Back to (at most) the bias floor of the leak-free attack.
+	if z > 0.8 {
+		t.Errorf("countermeasure failed: z=%.3f", z)
+	}
+	_ = dev
+}
+
+func TestLeakFunctions(t *testing.T) {
+	src := rng.New(79)
+	p := PowerModel{SigmaHW: 0}
+	y := []uint8{1, 0, 1, 1}
+	if got := p.Leak(y, src); got != 3 {
+		t.Errorf("Leak = %v, want 3", got)
+	}
+	cm := PowerModel{SigmaHW: 0, ConstantWeight: true}
+	if got := cm.Leak(y, src); got != 4 {
+		t.Errorf("countermeasure Leak = %v, want len(y)", got)
+	}
+	v := p.LeakVector(y, src)
+	for i, bit := range y {
+		if v[i] != float64(bit) {
+			t.Errorf("LeakVector[%d] = %v", i, v[i])
+		}
+	}
+	cv := cm.LeakVector(y, src)
+	for i := range cv {
+		if cv[i] != 1 {
+			t.Errorf("countermeasure LeakVector[%d] = %v, want 1", i, cv[i])
+		}
+	}
+}
+
+func TestLogitSigmoidInverse(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := sigmoid(logit(p)); got < p-1e-9 || got > p+1e-9 {
+			t.Errorf("sigmoid(logit(%v)) = %v", p, got)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package attest implements the PUFatt remote attestation protocol of
+// Section 3 (Figure 2): a verifier V challenges an embedded prover P with a
+// random attestation challenge r0 and PUF challenge x0; P computes the
+// attestation response by interleaving the SWATT-style memory checksum with
+// PUF() invocations on its own ALUs; V accepts only if the response arrives
+// within the time bound δ and matches the value recomputed through
+// PUF.Emulate() (or a CRP database).
+//
+// The package works entirely on a simulated clock: the prover's compute
+// time comes from the cycle-accurate MCU, and network costs from an
+// explicit Link model (latency + bandwidth). This also makes the
+// PUF-as-oracle bandwidth argument of Section 4.2 directly measurable.
+package attest
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pufatt/internal/core"
+)
+
+// Challenge is the verifier's message to the prover.
+type Challenge struct {
+	Session uint64
+	Nonce   uint32 // r0: the attestation challenge
+	PUFSeed uint32 // x0: the initial PUF challenge perturbation
+}
+
+// EffectiveNonce combines r0 and x0 into the checksum's working nonce; both
+// sides compute it identically.
+func (c Challenge) EffectiveNonce() uint32 { return c.Nonce ^ core.Mix32(c.PUFSeed) }
+
+// Response is the prover's message to the verifier: the checksum state and
+// the helper-data stream of every PUF() invocation, in order.
+type Response struct {
+	Session uint64
+	Tag     [8]uint32
+	Helpers []uint64 // 8 per chunk, 26 significant bits each
+}
+
+// NewChallenge draws a fresh random challenge using crypto/rand (protocol
+// nonces must be unpredictable; the simulation PRNGs are not used here).
+func NewChallenge(session uint64) (Challenge, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(rand.Reader, buf[:]); err != nil {
+		return Challenge{}, fmt.Errorf("attest: drawing challenge: %w", err)
+	}
+	return Challenge{
+		Session: session,
+		Nonce:   binary.LittleEndian.Uint32(buf[0:4]),
+		PUFSeed: binary.LittleEndian.Uint32(buf[4:8]),
+	}, nil
+}
+
+// Wire sizes in bits, used by the Link model and the bandwidth analysis.
+const (
+	ChallengeBits = (8 + 4 + 4) * 8
+	// HelperBitsPerWord is the significant helper payload per raw response
+	// (the RM(1,5) syndrome width; the 16-bit variant uses 11 of these).
+	HelperBitsPerWord = 26
+)
+
+// Bits returns the response's wire size in bits (tag + packed helpers +
+// framing).
+func (r Response) Bits() int {
+	return (8+32)*8 + len(r.Helpers)*HelperBitsPerWord + 32
+}
+
+// --- binary codec (length-prefixed frames over an io stream) ---
+
+// ErrFrameTooLarge guards the decoder against hostile length prefixes.
+var ErrFrameTooLarge = errors.New("attest: frame exceeds limit")
+
+const maxFrame = 1 << 22
+
+// WriteChallenge encodes a challenge frame.
+func WriteChallenge(w io.Writer, c Challenge) error {
+	buf := make([]byte, 4+8+4+4)
+	binary.LittleEndian.PutUint32(buf[0:], 16)
+	binary.LittleEndian.PutUint64(buf[4:], c.Session)
+	binary.LittleEndian.PutUint32(buf[12:], c.Nonce)
+	binary.LittleEndian.PutUint32(buf[16:], c.PUFSeed)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadChallenge decodes a challenge frame.
+func ReadChallenge(r io.Reader) (Challenge, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Challenge{}, err
+	}
+	if len(body) != 16 {
+		return Challenge{}, fmt.Errorf("attest: challenge frame of %d bytes", len(body))
+	}
+	return Challenge{
+		Session: binary.LittleEndian.Uint64(body[0:]),
+		Nonce:   binary.LittleEndian.Uint32(body[8:]),
+		PUFSeed: binary.LittleEndian.Uint32(body[12:]),
+	}, nil
+}
+
+// WriteResponse encodes a response frame.
+func WriteResponse(w io.Writer, resp Response) error {
+	body := make([]byte, 8+32+4+8*len(resp.Helpers))
+	binary.LittleEndian.PutUint64(body[0:], resp.Session)
+	for i, c := range resp.Tag {
+		binary.LittleEndian.PutUint32(body[8+4*i:], c)
+	}
+	binary.LittleEndian.PutUint32(body[40:], uint32(len(resp.Helpers)))
+	for i, h := range resp.Helpers {
+		binary.LittleEndian.PutUint64(body[44+8*i:], h)
+	}
+	head := make([]byte, 4)
+	binary.LittleEndian.PutUint32(head, uint32(len(body)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadResponse decodes a response frame.
+func ReadResponse(r io.Reader) (Response, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(body) < 44 {
+		return Response{}, fmt.Errorf("attest: response frame of %d bytes", len(body))
+	}
+	var resp Response
+	resp.Session = binary.LittleEndian.Uint64(body[0:])
+	for i := range resp.Tag {
+		resp.Tag[i] = binary.LittleEndian.Uint32(body[8+4*i:])
+	}
+	n := int(binary.LittleEndian.Uint32(body[40:]))
+	if n < 0 || len(body) != 44+8*n {
+		return Response{}, fmt.Errorf("attest: response frame with %d helpers but %d bytes", n, len(body))
+	}
+	resp.Helpers = make([]uint64, n)
+	for i := range resp.Helpers {
+		resp.Helpers[i] = binary.LittleEndian.Uint64(body[44+8*i:])
+	}
+	return resp, nil
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(head)
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,73 @@
+package attest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fleet manages attestation for a population of enrolled devices — the
+// sensor-network deployment the paper's introduction motivates. Each node
+// is enrolled with its own verifier (emulation model or CRP database); a
+// sweep attests every node and reports the compromised ones.
+type Fleet struct {
+	verifiers map[int]*Verifier
+	agents    map[int]ProverAgent
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{
+		verifiers: make(map[int]*Verifier),
+		agents:    make(map[int]ProverAgent),
+	}
+}
+
+// Enroll registers a node's verifier and its prover agent under a node id.
+func (f *Fleet) Enroll(nodeID int, v *Verifier, agent ProverAgent) error {
+	if _, dup := f.verifiers[nodeID]; dup {
+		return fmt.Errorf("attest: node %d already enrolled", nodeID)
+	}
+	f.verifiers[nodeID] = v
+	f.agents[nodeID] = agent
+	return nil
+}
+
+// Size returns the number of enrolled nodes.
+func (f *Fleet) Size() int { return len(f.verifiers) }
+
+// NodeResult is one node's sweep outcome.
+type NodeResult struct {
+	NodeID int
+	Result Result
+	Err    error
+}
+
+// Healthy reports whether the node attested successfully.
+func (r NodeResult) Healthy() bool { return r.Err == nil && r.Result.Accepted }
+
+// Sweep attests every enrolled node over the link, in ascending node-id
+// order, and returns all results.
+func (f *Fleet) Sweep(link Link) []NodeResult {
+	ids := make([]int, 0, len(f.verifiers))
+	for id := range f.verifiers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]NodeResult, 0, len(ids))
+	for _, id := range ids {
+		res, err := RunSession(f.verifiers[id], f.agents[id], link)
+		out = append(out, NodeResult{NodeID: id, Result: res, Err: err})
+	}
+	return out
+}
+
+// Compromised returns the node ids that failed the last sweep's results.
+func Compromised(results []NodeResult) []int {
+	var bad []int
+	for _, r := range results {
+		if !r.Healthy() {
+			bad = append(bad, r.NodeID)
+		}
+	}
+	return bad
+}

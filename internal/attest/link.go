@@ -1,0 +1,48 @@
+package attest
+
+import "fmt"
+
+// Link models the prover's constrained communication interface: one-way
+// propagation latency plus serialisation at a fixed bit rate. The paper's
+// prover-authentication argument (Section 4.2) rests on this link being far
+// slower than the CPU↔PUF path, so the model is explicit and shared with
+// the oracle-attack analysis.
+type Link struct {
+	LatencySeconds float64
+	BitsPerSecond  float64
+}
+
+// DefaultLink models a constrained sensor-node radio: 2 ms propagation,
+// 250 kbit/s (802.15.4-class).
+func DefaultLink() Link {
+	return Link{LatencySeconds: 2e-3, BitsPerSecond: 250e3}
+}
+
+// TransferSeconds returns the one-way time for a message of the given size.
+func (l Link) TransferSeconds(bits int) float64 {
+	if l.BitsPerSecond <= 0 {
+		return l.LatencySeconds
+	}
+	return l.LatencySeconds + float64(bits)/l.BitsPerSecond
+}
+
+// String describes the link.
+func (l Link) String() string {
+	return fmt.Sprintf("%.1fms/%.0fkbit/s", l.LatencySeconds*1e3, l.BitsPerSecond/1e3)
+}
+
+// RunSession executes one full attestation round trip on the simulated
+// clock: challenge transfer, prover computation, response transfer,
+// verification.
+func RunSession(v *Verifier, agent ProverAgent, link Link) (Result, error) {
+	ch, err := v.NewSession()
+	if err != nil {
+		return Result{}, err
+	}
+	resp, compute, err := agent.Respond(ch)
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
+	return v.Verify(ch, resp, elapsed), nil
+}

@@ -1,0 +1,107 @@
+package attest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+)
+
+// This file carries the protocol over a real byte stream (net.Conn), for
+// the remote-attestation example and the cross-process tests.
+//
+// Timing note: the prover's clock is *simulated* (cycle-accurate MCU), so a
+// wall-clock measurement at the verifier would mix simulation-host speed
+// into the security decision. The transport therefore conveys the prover's
+// simulated compute time in a trailer frame, and the verifier combines it
+// with the Link model. The adversary implementations in package attacks
+// report their times from the same simulator that constrains their
+// computation, so the measurement is exactly as trustworthy as a wall clock
+// over a real device — it is produced by the physics model, not chosen by
+// the adversary's code.
+
+// Serve answers attestation challenges on the stream until EOF. Each
+// exchange is: challenge frame in, response frame + time trailer out.
+func Serve(conn io.ReadWriter, agent ProverAgent) error {
+	for {
+		ch, err := ReadChallenge(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("attest: serve: %w", err)
+		}
+		resp, compute, err := agent.Respond(ch)
+		if err != nil {
+			return fmt.Errorf("attest: serve respond: %w", err)
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			return err
+		}
+		if err := writeTime(conn, compute); err != nil {
+			return err
+		}
+	}
+}
+
+// Request performs one attestation over the stream from the verifier side,
+// using link to model the constrained last hop.
+func Request(conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
+	ch, err := v.NewSession()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := WriteChallenge(conn, ch); err != nil {
+		return Result{}, err
+	}
+	resp, err := ReadResponse(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	compute, err := readTime(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
+	return v.Verify(ch, resp, elapsed), nil
+}
+
+// ListenAndServe runs a prover service on the TCP address until the
+// listener is closed; each connection is served on its own goroutine.
+// The returned function closes the listener.
+func ListenAndServe(addr string, agent ProverAgent) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_ = Serve(conn, agent)
+			}()
+		}
+	}()
+	return ln.Addr(), ln.Close, nil
+}
+
+func writeTime(w io.Writer, seconds float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(seconds))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readTime(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

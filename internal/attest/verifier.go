@@ -1,0 +1,131 @@
+package attest
+
+import (
+	"fmt"
+
+	"pufatt/internal/core"
+	"pufatt/internal/ecc"
+	"pufatt/internal/swatt"
+)
+
+// Result records one attestation decision.
+type Result struct {
+	Accepted bool
+	Reason   string
+	// Elapsed is the verifier-observed round-trip time (seconds) and Delta
+	// the enforced bound.
+	Elapsed float64
+	Delta   float64
+}
+
+// Verifier holds everything V needs: the expected memory image, the
+// checksum parameters, the device's reference source (emulator or CRP
+// database), and the timing policy.
+type Verifier struct {
+	Expected *swatt.Image
+	Pipeline *core.VerifierPipeline
+	// BaseFreqHz is the prover clock frequency V expects (F_base in
+	// Section 4.2).
+	BaseFreqHz float64
+	// ExpectedCycles is the attestation program's (data-independent) cycle
+	// count.
+	ExpectedCycles uint64
+	// ComputeSlack is the tolerated relative compute overshoot (e.g. 0.05
+	// = 5 %); the paper's assumption is that the honest algorithm is
+	// near-optimal, so the slack can be small.
+	ComputeSlack float64
+	// NetworkAllowance is the absolute time budget (seconds) added for
+	// message transfer and propagation.
+	NetworkAllowance float64
+
+	sessions uint64
+}
+
+// NewVerifier builds a verifier for the expected image over the given
+// reference source. votes must match the prover port's majority-voting
+// factor (it affects the cycle count).
+func NewVerifier(expected *swatt.Image, src core.ReferenceSource, baseFreqHz float64, votes int) (*Verifier, error) {
+	vp, err := core.NewVerifierPipelineFrom(src)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := swatt.ExpectedCycles(expected, votes)
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{
+		Expected:         expected,
+		Pipeline:         vp,
+		BaseFreqHz:       baseFreqHz,
+		ExpectedCycles:   cycles,
+		ComputeSlack:     0.05,
+		NetworkAllowance: 0.05,
+	}, nil
+}
+
+// ExpectedResponseBits returns the wire size of an honest response for the
+// verifier's checksum parameters.
+func (v *Verifier) ExpectedResponseBits() int {
+	return (8+32)*8 + 8*v.Expected.Layout.Params.Chunks*HelperBitsPerWord + 32
+}
+
+// AllowNetwork sets the network allowance from a link model: one challenge
+// transfer plus one response transfer (the helper stream dominates), with a
+// 25 % margin for jitter. Deployments that know their link tighter should
+// set NetworkAllowance directly.
+func (v *Verifier) AllowNetwork(link Link) {
+	cost := link.TransferSeconds(ChallengeBits) + link.TransferSeconds(v.ExpectedResponseBits())
+	v.NetworkAllowance = 1.25 * cost
+}
+
+// Delta returns the enforced time bound δ.
+func (v *Verifier) Delta() float64 {
+	return float64(v.ExpectedCycles)/v.BaseFreqHz*(1+v.ComputeSlack) + v.NetworkAllowance
+}
+
+// NewSession draws a fresh challenge.
+func (v *Verifier) NewSession() (Challenge, error) {
+	v.sessions++
+	return NewChallenge(v.sessions)
+}
+
+// Verify checks a prover response against the challenge and the observed
+// elapsed time.
+func (v *Verifier) Verify(ch Challenge, resp Response, elapsed float64) Result {
+	res := Result{Elapsed: elapsed, Delta: v.Delta()}
+	if resp.Session != ch.Session {
+		res.Reason = "session mismatch"
+		return res
+	}
+	if elapsed > res.Delta {
+		res.Reason = fmt.Sprintf("time bound exceeded: %.4gs > δ=%.4gs", elapsed, res.Delta)
+		return res
+	}
+	p := v.Expected.Layout.Params
+	if len(resp.Helpers) != 8*p.Chunks {
+		res.Reason = fmt.Sprintf("helper stream has %d words, want %d", len(resp.Helpers), 8*p.Chunks)
+		return res
+	}
+	idx := 0
+	want, err := swatt.Checksum(v.Expected.Layout.AttestedRegion(v.Expected.Mem), ch.EffectiveNonce(), p,
+		func(seed uint32) (uint32, error) {
+			h := resp.Helpers[idx*8 : idx*8+8]
+			idx++
+			z, err := v.Pipeline.Recover(uint64(seed), h)
+			if err != nil {
+				return 0, err
+			}
+			return uint32(ecc.BitsToWord(z)), nil
+		})
+	if err != nil {
+		res.Reason = "reference checksum: " + err.Error()
+		return res
+	}
+	if want != resp.Tag {
+		res.Reason = "attestation response mismatch"
+		return res
+	}
+	res.Accepted = true
+	res.Reason = "ok"
+	return res
+}

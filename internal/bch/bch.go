@@ -1,0 +1,282 @@
+// Package bch implements binary BCH error-correcting codes: generator
+// construction from cyclotomic cosets, systematic encoding, syndrome
+// computation, and Berlekamp–Massey + Chien-search decoding.
+//
+// The PUFatt helper-data scheme names a BCH[32,6,16] syndrome generator;
+// package ecc instantiates that specific (shortened, Reed–Muller-equivalent)
+// code directly, while this package provides the general BCH machinery for
+// alternative response widths and for cross-checking the secure-sketch
+// implementation (a BCH(31,6,t=7) code is the natural cyclic cousin of the
+// paper's parameters).
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"pufatt/internal/gf2"
+)
+
+// Code is a binary primitive BCH code of length n = 2^m − 1 with designed
+// error-correcting capability t, optionally shortened by s positions to
+// length n − s.
+type Code struct {
+	field   *gf2.Field
+	n       int // full cyclic length 2^m − 1
+	k       int // message bits (after shortening)
+	t       int // designed correctable errors
+	shorten int
+	gen     gf2.Poly
+}
+
+// ErrDecodeFailure is returned when the received word has more errors than
+// the code can correct.
+var ErrDecodeFailure = errors.New("bch: uncorrectable error pattern")
+
+// New constructs the BCH code over GF(2^m) with designed distance 2t+1.
+func New(m, t int) (*Code, error) {
+	f, err := gf2.NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	if t < 1 || 2*t >= f.N() {
+		return nil, fmt.Errorf("bch: t=%d out of range for m=%d", t, m)
+	}
+	g := gf2.Poly{1}
+	for i := 1; i <= 2*t; i++ {
+		g = gf2.LCM(g, f.MinimalPolynomial(i))
+	}
+	k := f.N() - g.Degree()
+	if k <= 0 {
+		return nil, fmt.Errorf("bch: no message bits left (m=%d, t=%d)", m, t)
+	}
+	return &Code{field: f, n: f.N(), k: k, t: t, gen: g}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(m, t int) *Code {
+	c, err := New(m, t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Shorten returns a copy of the code shortened by s message positions: the
+// first s message bits are fixed to zero and not transmitted, giving an
+// (n−s, k−s) code with the same t.
+func (c *Code) Shorten(s int) (*Code, error) {
+	if s < 0 || s >= c.k {
+		return nil, fmt.Errorf("bch: cannot shorten (%d,%d) code by %d", c.N(), c.K(), s)
+	}
+	cc := *c
+	cc.shorten = c.shorten + s
+	return &cc, nil
+}
+
+// N returns the codeword length.
+func (c *Code) N() int { return c.n - c.shorten }
+
+// K returns the number of message bits.
+func (c *Code) K() int { return c.k - c.shorten }
+
+// T returns the designed number of correctable errors.
+func (c *Code) T() int { return c.t }
+
+// ParityBits returns n − k, the syndrome width.
+func (c *Code) ParityBits() int { return c.n - c.k }
+
+// Generator returns the generator polynomial.
+func (c *Code) Generator() gf2.Poly { return c.gen.Clone() }
+
+// full expands a (possibly shortened) word to full cyclic length by
+// prepending zeros in the shortened (highest-degree message) positions.
+// Bit layout: index 0..n-k-1 parity, n-k..n-1 message.
+func (c *Code) full(word []uint8) []uint8 {
+	if c.shorten == 0 {
+		return word
+	}
+	fullWord := make([]uint8, c.n)
+	copy(fullWord, word)
+	return fullWord
+}
+
+// Encode systematically encodes the K()-bit message into an N()-bit
+// codeword laid out as [parity | message].
+func (c *Code) Encode(msg []uint8) ([]uint8, error) {
+	if len(msg) != c.K() {
+		return nil, fmt.Errorf("bch: message of %d bits, want %d", len(msg), c.K())
+	}
+	r := c.ParityBits()
+	// m(x)·x^r mod g(x) gives the parity bits.
+	p := make(gf2.Poly, r+len(msg))
+	for i, b := range msg {
+		p[r+i] = b & 1
+	}
+	rem := p.Mod(c.gen)
+	cw := make([]uint8, c.N())
+	for i := 0; i < r && i < len(rem); i++ {
+		cw[i] = rem[i]
+	}
+	copy(cw[r:], msg)
+	return cw, nil
+}
+
+// Message extracts the message bits from a codeword produced by Encode.
+func (c *Code) Message(cw []uint8) []uint8 {
+	msg := make([]uint8, c.K())
+	copy(msg, cw[c.ParityBits():])
+	return msg
+}
+
+// IsCodeword reports whether the word is a valid codeword (all syndromes
+// zero).
+func (c *Code) IsCodeword(word []uint8) bool {
+	if len(word) != c.N() {
+		return false
+	}
+	for _, s := range c.Syndromes(word) {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Syndromes returns S_1..S_2t with S_j = r(α^j), evaluated over the full
+// cyclic length.
+func (c *Code) Syndromes(word []uint8) []int {
+	fw := c.full(word)
+	syn := make([]int, 2*c.t)
+	for j := 1; j <= 2*c.t; j++ {
+		v := 0
+		aj := c.field.Exp(j)
+		// Horner over descending coefficient index.
+		for i := len(fw) - 1; i >= 0; i-- {
+			v = c.field.Mul(v, aj) ^ int(fw[i]&1)
+		}
+		syn[j-1] = v
+	}
+	return syn
+}
+
+// Decode corrects up to t bit errors in place on a copy of the received
+// word, returning the corrected codeword and the number of bits corrected.
+// It returns ErrDecodeFailure when the error pattern is uncorrectable.
+func (c *Code) Decode(received []uint8) ([]uint8, int, error) {
+	if len(received) != c.N() {
+		return nil, 0, fmt.Errorf("bch: received word of %d bits, want %d", len(received), c.N())
+	}
+	syn := c.Syndromes(received)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	out := make([]uint8, len(received))
+	copy(out, received)
+	if allZero {
+		return out, 0, nil
+	}
+	locator, err := c.berlekampMassey(syn)
+	if err != nil {
+		return nil, 0, err
+	}
+	positions, err := c.chienSearch(locator)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, pos := range positions {
+		if pos >= c.N() {
+			// Error located in a shortened (always-zero) position: the
+			// true pattern exceeded the code's capability.
+			return nil, 0, ErrDecodeFailure
+		}
+		out[pos] ^= 1
+	}
+	if !c.IsCodeword(out) {
+		return nil, 0, ErrDecodeFailure
+	}
+	return out, len(positions), nil
+}
+
+// berlekampMassey computes the error-locator polynomial Λ(x) from the
+// syndromes, with coefficients in GF(2^m) (index = degree).
+func (c *Code) berlekampMassey(syn []int) ([]int, error) {
+	f := c.field
+	lambda := []int{1} // Λ(x)
+	b := []int{1}      // previous Λ
+	l := 0             // current number of assumed errors
+	mGap := 1
+	bDisc := 1 // discrepancy when b was last Λ
+	for n := 0; n < len(syn); n++ {
+		// Compute discrepancy d = S_n + Σ λ_i·S_{n−i}.
+		d := syn[n]
+		for i := 1; i <= l && i < len(lambda); i++ {
+			if n-i >= 0 {
+				d ^= f.Mul(lambda[i], syn[n-i])
+			}
+		}
+		if d == 0 {
+			mGap++
+			continue
+		}
+		// λ(x) ← λ(x) − (d/bDisc)·x^mGap·b(x)
+		coef := f.Div(d, bDisc)
+		next := make([]int, max(len(lambda), len(b)+mGap))
+		copy(next, lambda)
+		for i, bi := range b {
+			next[i+mGap] ^= f.Mul(coef, bi)
+		}
+		if 2*l <= n {
+			b = lambda
+			bDisc = d
+			l = n + 1 - l
+			mGap = 1
+		} else {
+			mGap++
+		}
+		lambda = next
+	}
+	// Trim trailing zeros.
+	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
+		lambda = lambda[:len(lambda)-1]
+	}
+	if len(lambda)-1 > c.t {
+		return nil, ErrDecodeFailure
+	}
+	if l != len(lambda)-1 {
+		return nil, ErrDecodeFailure
+	}
+	return lambda, nil
+}
+
+// chienSearch finds the error positions: i is an error position iff
+// Λ(α^{−i}) = 0. Positions refer to coefficient index in the full word.
+func (c *Code) chienSearch(lambda []int) ([]int, error) {
+	f := c.field
+	var positions []int
+	for i := 0; i < c.n; i++ {
+		x := f.Exp(-i)
+		v := 0
+		for d := len(lambda) - 1; d >= 0; d-- {
+			v = f.Mul(v, x) ^ lambda[d]
+		}
+		if v == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != len(lambda)-1 {
+		return nil, ErrDecodeFailure // Λ does not split over the field
+	}
+	return positions, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

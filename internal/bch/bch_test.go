@@ -1,0 +1,243 @@
+package bch
+
+import (
+	"testing"
+
+	"pufatt/internal/rng"
+)
+
+func TestKnownCodeParameters(t *testing.T) {
+	cases := []struct{ m, t, wantN, wantK int }{
+		{4, 1, 15, 11},
+		{4, 2, 15, 7},
+		{4, 3, 15, 5},
+		{5, 1, 31, 26},
+		{5, 2, 31, 21},
+		{5, 3, 31, 16},
+		{5, 5, 31, 11},
+		{5, 7, 31, 6},
+		{6, 2, 63, 51},
+	}
+	for _, c := range cases {
+		code, err := New(c.m, c.t)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", c.m, c.t, err)
+		}
+		if code.N() != c.wantN || code.K() != c.wantK {
+			t.Errorf("BCH(m=%d,t=%d) = (%d,%d), want (%d,%d)",
+				c.m, c.t, code.N(), code.K(), c.wantN, c.wantK)
+		}
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(1, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(4, 8); err == nil {
+		t.Error("t too large accepted")
+	}
+}
+
+func TestEncodeProducesCodewords(t *testing.T) {
+	code := MustNew(5, 3)
+	src := rng.New(1)
+	msg := make([]uint8, code.K())
+	for trial := 0; trial < 100; trial++ {
+		src.Bits(msg)
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cw) != code.N() {
+			t.Fatalf("codeword length %d, want %d", len(cw), code.N())
+		}
+		if !code.IsCodeword(cw) {
+			t.Fatalf("trial %d: Encode output fails syndrome check", trial)
+		}
+		got := code.Message(cw)
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d: systematic message bits corrupted", trial)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsWrongLength(t *testing.T) {
+	code := MustNew(5, 2)
+	if _, err := code.Encode(make([]uint8, 3)); err == nil {
+		t.Error("wrong-length message accepted")
+	}
+}
+
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	for _, tc := range []struct{ m, t int }{{4, 2}, {5, 3}, {5, 7}, {6, 4}} {
+		code := MustNew(tc.m, tc.t)
+		src := rng.New(uint64(tc.m*100 + tc.t))
+		msg := make([]uint8, code.K())
+		for trial := 0; trial < 50; trial++ {
+			src.Bits(msg)
+			cw, _ := code.Encode(msg)
+			nErr := 1 + src.Intn(code.T())
+			corrupted := append([]uint8(nil), cw...)
+			for _, pos := range src.Perm(code.N())[:nErr] {
+				corrupted[pos] ^= 1
+			}
+			fixed, count, err := code.Decode(corrupted)
+			if err != nil {
+				t.Fatalf("BCH(m=%d,t=%d) trial %d: decode failed with %d errors: %v",
+					tc.m, tc.t, trial, nErr, err)
+			}
+			if count != nErr {
+				t.Fatalf("corrected %d errors, injected %d", count, nErr)
+			}
+			for i := range cw {
+				if fixed[i] != cw[i] {
+					t.Fatalf("decode returned wrong codeword at bit %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeCleanWord(t *testing.T) {
+	code := MustNew(5, 3)
+	msg := make([]uint8, code.K())
+	msg[0] = 1
+	cw, _ := code.Encode(msg)
+	fixed, count, err := code.Decode(cw)
+	if err != nil || count != 0 {
+		t.Fatalf("clean decode: count=%d err=%v", count, err)
+	}
+	for i := range cw {
+		if fixed[i] != cw[i] {
+			t.Fatal("clean decode altered the word")
+		}
+	}
+}
+
+func TestDecodeDetectsOverload(t *testing.T) {
+	// Beyond-t error patterns must either fail or decode to a valid (wrong)
+	// codeword — never to a non-codeword.
+	code := MustNew(5, 2)
+	src := rng.New(7)
+	msg := make([]uint8, code.K())
+	failures := 0
+	for trial := 0; trial < 200; trial++ {
+		src.Bits(msg)
+		cw, _ := code.Encode(msg)
+		corrupted := append([]uint8(nil), cw...)
+		for _, pos := range src.Perm(code.N())[:code.T()+3] {
+			corrupted[pos] ^= 1
+		}
+		fixed, _, err := code.Decode(corrupted)
+		if err != nil {
+			failures++
+			continue
+		}
+		if !code.IsCodeword(fixed) {
+			t.Fatalf("trial %d: decoder returned a non-codeword", trial)
+		}
+	}
+	if failures == 0 {
+		t.Error("no overload pattern was ever rejected; detector seems inert")
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	code := MustNew(4, 2)
+	if _, _, err := code.Decode(make([]uint8, 7)); err == nil {
+		t.Error("wrong-length word accepted")
+	}
+}
+
+func TestShortenedCode(t *testing.T) {
+	// BCH(31,6,t=7) shortened by 5 → (26,1) still corrects 7 errors.
+	base := MustNew(5, 7)
+	code, err := base.Shorten(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.N() != 26 || code.K() != 1 {
+		t.Fatalf("shortened code = (%d,%d), want (26,1)", code.N(), code.K())
+	}
+	src := rng.New(9)
+	for trial := 0; trial < 30; trial++ {
+		msg := []uint8{uint8(trial & 1)}
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !code.IsCodeword(cw) {
+			t.Fatal("shortened encode not a codeword")
+		}
+		corrupted := append([]uint8(nil), cw...)
+		for _, pos := range src.Perm(code.N())[:code.T()] {
+			corrupted[pos] ^= 1
+		}
+		fixed, _, err := code.Decode(corrupted)
+		if err != nil {
+			t.Fatalf("trial %d: shortened decode failed: %v", trial, err)
+		}
+		for i := range cw {
+			if fixed[i] != cw[i] {
+				t.Fatal("shortened decode wrong")
+			}
+		}
+	}
+}
+
+func TestShortenRejectsBadAmount(t *testing.T) {
+	code := MustNew(4, 2) // (15,7)
+	if _, err := code.Shorten(7); err == nil {
+		t.Error("shortening away all message bits accepted")
+	}
+	if _, err := code.Shorten(-1); err == nil {
+		t.Error("negative shorten accepted")
+	}
+}
+
+func TestGeneratorDividesXnMinus1(t *testing.T) {
+	for _, tc := range []struct{ m, t int }{{4, 2}, {5, 3}, {6, 3}} {
+		code := MustNew(tc.m, tc.t)
+		g := code.Generator()
+		xn1 := make([]uint8, code.n+1)
+		xn1[0] = 1
+		xn1[code.n] = 1
+		if !polyMod(xn1, g) {
+			t.Errorf("BCH(m=%d,t=%d): g(x) does not divide x^n−1", tc.m, tc.t)
+		}
+	}
+}
+
+// polyMod reports whether g divides p (both as GF(2) coefficient slices).
+func polyMod(p, g []uint8) bool {
+	r := append([]uint8(nil), p...)
+	dg := len(g) - 1
+	for len(r)-1 >= dg {
+		if r[len(r)-1] == 1 {
+			off := len(r) - 1 - dg
+			for i, c := range g {
+				r[off+i] ^= c
+			}
+		}
+		r = r[:len(r)-1]
+	}
+	for _, c := range r {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParityBits(t *testing.T) {
+	code := MustNew(5, 7) // (31,6): 25 parity bits
+	if got := code.ParityBits(); got != 25 {
+		t.Errorf("ParityBits = %d, want 25", got)
+	}
+}

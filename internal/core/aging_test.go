@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+func TestAgingSlowsTheDevice(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(40), 0)
+	before := dev.CriticalPathPs()
+	dev.Age(5000, 1.0)
+	after := dev.CriticalPathPs()
+	if after <= before {
+		t.Errorf("aging did not slow the critical path: %v -> %v", before, after)
+	}
+	// 5000 h of full stress at ~40 mV shift ≈ several percent slower.
+	if after/before < 1.01 || after/before > 1.5 {
+		t.Errorf("aging slowdown factor %.4f implausible", after/before)
+	}
+}
+
+func TestAgingValidation(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(41), 0)
+	for _, bad := range []func(){
+		func() { dev.Age(-1, 0.5) },
+		func() { dev.Age(10, -0.1) },
+		func() { dev.Age(10, 1.1) },
+		func() { dev.ReinforcementAge(-1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid aging call")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestUniformAgingDriftsResponses(t *testing.T) {
+	// Enroll, age for a simulated decade, and measure drift against the
+	// stale reference: some bits must flip (the PUF aging threat), but the
+	// device must not become a different chip (drift << inter-chip HD).
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(42), 0)
+	src := rng.New(43)
+	seeds := make([]uint64, 400)
+	refs := make([][]uint8, len(seeds))
+	for k := range seeds {
+		seeds[k] = src.Uint64()
+		refs[k] = append([]uint8(nil), dev.NoiselessResponse(d.ExpandChallenge(seeds[k], 0))...)
+	}
+	dev.Age(87600, 0.5) // 10 years at 50 % duty
+	var drift stats.Summary
+	for k := range seeds {
+		drift.Add(float64(stats.HammingDistance(refs[k], dev.NoiselessResponse(d.ExpandChallenge(seeds[k], 0)))))
+	}
+	frac := drift.Mean() / 16
+	if frac == 0 {
+		t.Error("a decade of wear flipped no bits; aging model inert")
+	}
+	if frac > 0.3 {
+		t.Errorf("aging drift %.3f of bits — device unrecognisable", frac)
+	}
+}
+
+func TestAgedDeviceReEnrollsCleanly(t *testing.T) {
+	// After aging, a fresh model export must emulate the aged device.
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(44), 0)
+	dev.Age(20000, 1.0)
+	em := dev.Emulator()
+	src := rng.New(45)
+	for k := 0; k < 100; k++ {
+		ch := d.ExpandChallenge(src.Uint64(), 0)
+		want := dev.NoiselessResponse(ch)
+		got := em.Respond(ch)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatal("re-enrolled emulator diverges from aged device")
+			}
+		}
+	}
+}
+
+func TestReinforcementAgingImprovesReliability(t *testing.T) {
+	// The [13] claim: directed aging hardens noisy bits. Measure the noisy
+	// flip rate against a fresh enrollment before and after burn-in.
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(46), 0)
+	flipRate := func() float64 {
+		src := rng.New(47) // same challenge set for both measurements
+		var hd stats.Summary
+		for k := 0; k < 400; k++ {
+			ch := d.ExpandChallenge(src.Uint64(), 0)
+			ref := append([]uint8(nil), dev.NoiselessResponse(ch)...)
+			for rep := 0; rep < 3; rep++ {
+				hd.Add(float64(stats.HammingDistance(ref, dev.RawResponse(ch))))
+			}
+		}
+		return hd.Mean() / 16
+	}
+	before := flipRate()
+	dev.ReinforcementAge(2000, 200)
+	after := flipRate()
+	if after >= before {
+		t.Errorf("directed aging did not improve reliability: %.4f -> %.4f", before, after)
+	}
+	t.Logf("noisy flip rate: %.4f -> %.4f", before, after)
+}
+
+func TestReinforcementAgingCostsSomeUniqueness(t *testing.T) {
+	// The trade-off: burned-in bits are more reliable but more biased, so
+	// inter-chip distance may drop. Document the magnitude; fail only if
+	// uniqueness collapses below half its original value.
+	d := MustNewDesign(testConfig())
+	master := rng.New(48)
+	devA := MustNewDevice(d, master, 0)
+	devB := MustNewDevice(d, master, 1)
+	inter := func() float64 {
+		src := rng.New(49)
+		var hd stats.Summary
+		for k := 0; k < 300; k++ {
+			ch := d.ExpandChallenge(src.Uint64(), 0)
+			hd.Add(float64(stats.HammingDistance(devA.NoiselessResponse(ch), devB.NoiselessResponse(ch))))
+		}
+		return hd.Mean()
+	}
+	before := inter()
+	devA.ReinforcementAge(2000, 200)
+	devB.ReinforcementAge(2000, 200)
+	after := inter()
+	t.Logf("inter-chip HD: %.2f -> %.2f bits", before, after)
+	if after < before/2 {
+		t.Errorf("burn-in destroyed uniqueness: %.2f -> %.2f bits", before, after)
+	}
+}
+
+func TestAgingVthAccessor(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(50), 0)
+	if dev.AgingVth() != nil {
+		t.Error("fresh device reports aging")
+	}
+	dev.Age(100, 1)
+	v := dev.AgingVth()
+	if v == nil {
+		t.Fatal("no aging vector after Age")
+	}
+	positive := 0
+	for _, s := range v {
+		if s > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Error("no gate aged")
+	}
+}
+
+func TestConeOf(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(51), 0)
+	a0lsb, _ := d.Datapath().Pair(0)
+	a0msb, _ := d.Datapath().Pair(15)
+	lsbCone := dev.coneOf(a0lsb)
+	msbCone := dev.coneOf(a0msb)
+	if len(lsbCone) >= len(msbCone) {
+		t.Errorf("MSB cone (%d gates) should exceed LSB cone (%d gates)", len(msbCone), len(lsbCone))
+	}
+	// Memoised: same slice back.
+	again := dev.coneOf(a0msb)
+	if &again[0] != &msbCone[0] {
+		t.Error("cone not memoised")
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"pufatt/internal/delay"
+	"pufatt/internal/netlist"
+	"pufatt/internal/rng"
+	"pufatt/internal/sim"
+	"pufatt/internal/variation"
+)
+
+// Device is one manufactured instance of an ALU PUF Design: a chip with its
+// own process-variation realisation. A Device is not safe for concurrent
+// use.
+type Device struct {
+	design *Design
+	chip   *variation.Chip
+	dVth   []float64
+	cond   delay.Conditions
+	tables map[delay.Conditions]delay.Table
+	engine *sim.Engine
+	noise  *rng.Source
+	// jitterScale converts the configured nominal jitter to the current
+	// corner (slower corner → proportionally larger arrival jitter).
+	jitterScale float64
+	// challenge buffer reused across queries.
+	inBuf, respBuf []uint8
+	queries        uint64
+	// extraSkewPs is optional per-bit skew (FPGA board routing + PDL).
+	extraSkewPs []float64
+	// agingVth accumulates per-gate BTI drift (see aging.go); agingSrc
+	// draws its variability, and cones memoises fanin cones for the
+	// directed-aging procedure.
+	agingVth []float64
+	agingSrc *rng.Source
+	cones    map[int][]int
+}
+
+// NewDevice manufactures chip chipID of the design, drawing its process
+// variation from the master source. The same (master seed, chipID) always
+// yields the same physical chip; the arbiter-noise stream is also derived
+// from it, so whole experiments replay bit-exactly.
+func NewDevice(d *Design, master *rng.Source, chipID int) (*Device, error) {
+	chip, err := variation.NewChip(d.cfg.Variation, master, chipID)
+	if err != nil {
+		return nil, err
+	}
+	dev := &Device{
+		design:  d,
+		chip:    chip,
+		dVth:    chip.VthOffsets(d.datapath.Net, 0, 0),
+		tables:  make(map[delay.Conditions]delay.Table),
+		noise:   master.SubN("device/noise", chipID),
+		inBuf:   make([]uint8, 2*d.cfg.Width),
+		respBuf: make([]uint8, d.ResponseBits()),
+	}
+	dev.SetConditions(delay.Nominal())
+	return dev, nil
+}
+
+// MustNewDevice is NewDevice that panics on error.
+func MustNewDevice(d *Design, master *rng.Source, chipID int) *Device {
+	dev, err := NewDevice(d, master, chipID)
+	if err != nil {
+		panic(err)
+	}
+	return dev
+}
+
+// Design returns the device's design.
+func (dev *Device) Design() *Design { return dev.design }
+
+// ChipID returns the chip identifier.
+func (dev *Device) ChipID() int { return dev.chip.ID() }
+
+// Queries returns how many raw PUF evaluations this device has served; the
+// oracle-attack analysis uses it to account for PUF access bandwidth.
+func (dev *Device) Queries() uint64 { return dev.queries }
+
+// Conditions returns the current operating corner.
+func (dev *Device) Conditions() delay.Conditions { return dev.cond }
+
+// SetConditions moves the device to an operating corner (supply voltage and
+// temperature), rebuilding (or reusing a cached) delay table.
+func (dev *Device) SetConditions(cond delay.Conditions) {
+	dev.cond = cond
+	tab, ok := dev.tables[cond]
+	if !ok {
+		tab = delay.BuildTable(dev.design.model, dev.design.datapath.Net, dev.effectiveVth(), dev.design.gateSkewPs, cond)
+		dev.tables[cond] = tab
+	}
+	if dev.engine == nil {
+		dev.engine = sim.NewEngine(dev.design.datapath.Net, tab)
+	} else {
+		dev.engine.SetDelays(tab)
+	}
+	dev.jitterScale = dev.design.model.InverterDelay(cond) / dev.design.model.InverterDelay(delay.Nominal())
+}
+
+// arrivalDelta returns, for response bit i, the arrival-time difference
+// (ALU1 + design skew + per-device extra skew) − ALU0 given the engine's
+// last run.
+func (dev *Device) arrivalDelta(arr []float64, i int) float64 {
+	a0, a1 := dev.design.datapath.Pair(i)
+	d := arr[a1] + dev.design.skewPs[i] - arr[a0]
+	if dev.extraSkewPs != nil {
+		d += dev.extraSkewPs[i]
+	}
+	return d
+}
+
+// SetExtraSkewPs installs per-bit additive skew on top of the design skew:
+// board-level routing mismatch and PDL compensation in the FPGA prototype
+// (package fpga). Pass nil to clear.
+func (dev *Device) SetExtraSkewPs(skew []float64) {
+	if skew != nil && len(skew) != dev.design.ResponseBits() {
+		panic(fmt.Sprintf("core: extra skew of %d entries for %d response bits", len(skew), dev.design.ResponseBits()))
+	}
+	dev.extraSkewPs = skew
+}
+
+// ExtraSkewPs returns the per-device extra skew (nil if unset).
+func (dev *Device) ExtraSkewPs() []float64 { return dev.extraSkewPs }
+
+// RawResponse measures the raw (pre-correction, pre-obfuscation) PUF
+// response to the challenge at the current corner, including per-evaluation
+// arbiter noise. Response bit i is 1 when ALU 0's output settles first.
+// The returned slice is reused by the next call.
+func (dev *Device) RawResponse(challenge []uint8) []uint8 {
+	arr := dev.arrivals(challenge)
+	jitter := dev.design.cfg.JitterPs * dev.jitterScale
+	for i := range dev.respBuf {
+		d := dev.arrivalDelta(arr, i)
+		if jitter > 0 {
+			d += dev.noise.NormMS(0, jitter)
+		}
+		if d > 0 {
+			dev.respBuf[i] = 1
+		} else {
+			dev.respBuf[i] = 0
+		}
+	}
+	dev.queries++
+	return dev.respBuf
+}
+
+// RawResponseCopy is RawResponse into freshly allocated storage.
+func (dev *Device) RawResponseCopy(challenge []uint8) []uint8 {
+	return append([]uint8(nil), dev.RawResponse(challenge)...)
+}
+
+// MajorityResponse measures the raw response votes times and returns the
+// bitwise majority, reducing the effective per-bit error rate (standard
+// temporal majority voting; see DESIGN.md on reaching the paper's claimed
+// false-negative rate with a real (32,6,16) decoder). votes must be odd.
+func (dev *Device) MajorityResponse(challenge []uint8, votes int) []uint8 {
+	if votes < 1 || votes%2 == 0 {
+		panic(fmt.Sprintf("core: majority votes %d must be odd and positive", votes))
+	}
+	counts := make([]int, dev.design.ResponseBits())
+	for v := 0; v < votes; v++ {
+		r := dev.RawResponse(challenge)
+		for i, bit := range r {
+			counts[i] += int(bit)
+		}
+	}
+	out := make([]uint8, len(counts))
+	for i, c := range counts {
+		if 2*c > votes {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// NoiselessResponse measures the response without arbiter noise: the
+// idealised expected response at the current corner. Enrollment and
+// emulation use it at the nominal corner.
+func (dev *Device) NoiselessResponse(challenge []uint8) []uint8 {
+	arr := dev.arrivals(challenge)
+	out := make([]uint8, dev.design.ResponseBits())
+	for i := range out {
+		if dev.arrivalDelta(arr, i) > 0 {
+			out[i] = 1
+		}
+	}
+	dev.queries++
+	return out
+}
+
+func (dev *Device) arrivals(challenge []uint8) []float64 {
+	if len(challenge) != 2*dev.design.cfg.Width {
+		panic(fmt.Sprintf("core: challenge of %d bits, want %d", len(challenge), 2*dev.design.cfg.Width))
+	}
+	copy(dev.inBuf, challenge)
+	_, arr := dev.engine.Run(dev.inBuf)
+	return arr
+}
+
+// ArrivalDeltas returns the per-bit arrival-time differences for a
+// challenge (positive = ALU 0 first). Attack code uses this as the
+// idealised side-channel; tests use it to probe the physics.
+func (dev *Device) ArrivalDeltas(challenge []uint8) []float64 {
+	arr := dev.arrivals(challenge)
+	out := make([]float64, dev.design.ResponseBits())
+	for i := range out {
+		out[i] = dev.arrivalDelta(arr, i)
+	}
+	return out
+}
+
+// CriticalPathPs returns the static worst-case propagation delay T_ALU of
+// the PUF datapath at the current corner: the topological longest path,
+// ignoring logical masking. The overclocking condition of Section 4.2 is
+// T_ALU + T_set < T_cycle.
+func (dev *Device) CriticalPathPs() float64 {
+	nl := dev.design.datapath.Net
+	tab := dev.tables[dev.cond]
+	arr := make([]float64, len(nl.Gates))
+	worst := 0.0
+	for _, g := range nl.Order {
+		gate := &nl.Gates[g]
+		t := 0.0
+		for _, f := range gate.Fanin {
+			if arr[f] > t {
+				t = arr[f]
+			}
+		}
+		arr[g] = t + tab.Ps[g]
+		if arr[g] > worst {
+			worst = arr[g]
+		}
+	}
+	return worst
+}
+
+// ClockedResponse measures the raw response when the PUF output registers
+// are latched after one clock period tCyclePs with register setup time
+// tSetupPs. Bits whose races have not resolved by the latch deadline
+// (max arrival + setup > cycle) are latched from a metastable arbiter and
+// resolve randomly — the overclocking failure mode of Section 4.2. The
+// returned slice aliases the device buffer; valid reports how many bits
+// latched cleanly.
+func (dev *Device) ClockedResponse(challenge []uint8, tCyclePs, tSetupPs float64) (resp []uint8, valid int) {
+	arr := dev.arrivals(challenge)
+	jitter := dev.design.cfg.JitterPs * dev.jitterScale
+	deadline := tCyclePs - tSetupPs
+	for i := range dev.respBuf {
+		a0, a1 := dev.design.datapath.Pair(i)
+		t0 := arr[a0]
+		t1 := arr[a1] + dev.design.skewPs[i]
+		if dev.extraSkewPs != nil {
+			t1 += dev.extraSkewPs[i]
+		}
+		if t0 <= deadline && t1 <= deadline {
+			d := t1 - t0
+			if jitter > 0 {
+				d += dev.noise.NormMS(0, jitter)
+			}
+			if d > 0 {
+				dev.respBuf[i] = 1
+			} else {
+				dev.respBuf[i] = 0
+			}
+			valid++
+		} else {
+			// Setup-time violation: the register samples an unresolved
+			// arbiter.
+			dev.respBuf[i] = dev.noise.Bit()
+		}
+	}
+	dev.queries++
+	return dev.respBuf, valid
+}
+
+// MinReliableCyclePs returns the smallest clock period at which every
+// response bit of the given challenge latches cleanly (max pair arrival +
+// setup), at the current corner.
+func (dev *Device) MinReliableCyclePs(challenge []uint8, tSetupPs float64) float64 {
+	arr := dev.arrivals(challenge)
+	worst := 0.0
+	for i := 0; i < dev.design.ResponseBits(); i++ {
+		a0, a1 := dev.design.datapath.Pair(i)
+		if arr[a0] > worst {
+			worst = arr[a0]
+		}
+		t := arr[a1] + dev.design.skewPs[i]
+		if dev.extraSkewPs != nil {
+			t += dev.extraSkewPs[i]
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst + tSetupPs
+}
+
+// NominalTable returns (a copy of) the device's nominal-corner delay
+// table, for external analyses (waveform capture, timing studies).
+func (dev *Device) NominalTable() delay.Table {
+	nom := delay.Nominal()
+	tab, ok := dev.tables[nom]
+	if !ok {
+		tab = delay.BuildTable(dev.design.model, dev.design.datapath.Net, dev.effectiveVth(), dev.design.gateSkewPs, nom)
+		dev.tables[nom] = tab
+	}
+	return tab.Clone()
+}
+
+// EventDrivenSettleTime runs the full event-driven simulator for the
+// challenge (from the all-zero state) and returns the time of the last
+// signal transition — a cross-check on the levelized engine and the basis
+// for glitch-accurate analyses.
+func (dev *Device) EventDrivenSettleTime(challenge []uint8) float64 {
+	es := sim.NewEventSim(dev.design.datapath.Net, dev.tables[dev.cond])
+	es.Settle(make([]uint8, 2*dev.design.cfg.Width))
+	in := make([]uint8, 2*dev.design.cfg.Width)
+	copy(in, challenge)
+	es.Apply(in)
+	return es.Run()
+}
+
+// ExportModel extracts the verifier-side emulation model H: the gate-level
+// delay table at the nominal corner plus the design skew. In an ASIC this
+// readout happens through a fuse-protected test interface at manufacturing
+// time; here it is a method only the enrolling authority calls.
+func (dev *Device) ExportModel() *Model {
+	nom := delay.Nominal()
+	tab, ok := dev.tables[nom]
+	if !ok {
+		tab = delay.BuildTable(dev.design.model, dev.design.datapath.Net, dev.effectiveVth(), dev.design.gateSkewPs, nom)
+		dev.tables[nom] = tab
+	}
+	skew := dev.design.SkewPs()
+	if dev.extraSkewPs != nil {
+		for i := range skew {
+			skew[i] += dev.extraSkewPs[i]
+		}
+	}
+	return &Model{
+		Width:    dev.design.cfg.Width,
+		UseCarry: dev.design.cfg.UseCarry,
+		ChipID:   dev.chip.ID(),
+		Table:    tab.Clone(),
+		SkewPs:   skew,
+	}
+}
+
+// Emulator returns a verifier-side emulator for this device (shorthand for
+// NewEmulator(design, dev.ExportModel())).
+func (dev *Device) Emulator() *Emulator {
+	return NewEmulator(dev.design, dev.ExportModel())
+}
+
+// netlistOf is a test hook returning the device's netlist.
+func (dev *Device) netlistOf() *netlist.Netlist { return dev.design.datapath.Net }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialisation of the emulation model H. The trusted enrollment facility
+// extracts H once per device and must hand it to the verifier out of band;
+// this file gives it a stable binary format (magic, version, dimensions,
+// little-endian float64 tables) with integrity checks on load. H is the
+// verifier's secret: encrypt/authenticate the container at rest — this
+// format provides structure, not confidentiality.
+
+const (
+	modelMagic   = 0x50554648 // "PUFH"
+	modelVersion = 1
+)
+
+// WriteTo serialises the model.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	flags := uint32(0)
+	if m.UseCarry {
+		flags = 1
+	}
+	for _, v := range []any{
+		uint32(modelMagic), uint32(modelVersion),
+		uint32(m.Width), flags, int64(m.ChipID),
+		uint32(len(m.Table.Ps)), uint32(len(m.SkewPs)),
+	} {
+		if err := put(v); err != nil {
+			return n, err
+		}
+	}
+	for _, d := range m.Table.Ps {
+		if err := put(math.Float64bits(d)); err != nil {
+			return n, err
+		}
+	}
+	for _, s := range m.SkewPs {
+		if err := put(math.Float64bits(s)); err != nil {
+			return n, err
+		}
+	}
+	if err := put(m.checksum()); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserialises a model written by WriteTo, validating structure
+// and checksum.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, errors.New("core: not a PUF model file")
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", version)
+	}
+	width, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	var chipID int64
+	if err := binary.Read(br, binary.LittleEndian, &chipID); err != nil {
+		return nil, err
+	}
+	nTable, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nSkew, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const maxEntries = 1 << 24
+	if width == 0 || width > 64 || nTable > maxEntries || nSkew > maxEntries {
+		return nil, errors.New("core: model dimensions out of range")
+	}
+	m := &Model{
+		Width:    int(width),
+		UseCarry: flags&1 != 0,
+		ChipID:   int(chipID),
+	}
+	m.Table.Ps = make([]float64, nTable)
+	for i := range m.Table.Ps {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, err
+		}
+		m.Table.Ps[i] = math.Float64frombits(bits)
+	}
+	m.SkewPs = make([]float64, nSkew)
+	for i := range m.SkewPs {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, err
+		}
+		m.SkewPs[i] = math.Float64frombits(bits)
+	}
+	var sum uint64
+	if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		return nil, err
+	}
+	if sum != m.checksum() {
+		return nil, errors.New("core: model checksum mismatch (corrupted file)")
+	}
+	return m, nil
+}
+
+// checksum is an FNV-1a over the model's semantic content.
+func (m *Model) checksum() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * uint(i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(m.Width))
+	if m.UseCarry {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(uint64(int64(m.ChipID)))
+	for _, d := range m.Table.Ps {
+		mix(math.Float64bits(d))
+	}
+	for _, s := range m.SkewPs {
+		mix(math.Float64bits(s))
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pufatt/internal/rng"
+)
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(60), 5)
+	m := dev.ExportModel()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != m.Width || got.UseCarry != m.UseCarry || got.ChipID != 5 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Table.Ps) != len(m.Table.Ps) || len(got.SkewPs) != len(m.SkewPs) {
+		t.Fatal("dimensions mismatch")
+	}
+	for i := range m.Table.Ps {
+		if got.Table.Ps[i] != m.Table.Ps[i] {
+			t.Fatal("delay table corrupted")
+		}
+	}
+	// The deserialised model must drive an emulator identically.
+	em := NewEmulator(d, got)
+	ref := NewEmulator(d, m)
+	src := rng.New(61)
+	for k := 0; k < 50; k++ {
+		ch := d.ExpandChallenge(src.Uint64(), 0)
+		a := em.Respond(ch)
+		b := ref.Respond(ch)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("deserialised emulator diverges")
+			}
+		}
+	}
+}
+
+func TestModelDeserializationRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := ReadModel(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("zero magic accepted")
+	}
+}
+
+func TestModelDeserializationDetectsCorruption(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(62), 0)
+	var buf bytes.Buffer
+	if _, err := dev.ExportModel().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the delay table.
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := ReadModel(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted model accepted")
+	}
+}
+
+func TestModelDeserializationRejectsHugeDimensions(t *testing.T) {
+	d := MustNewDesign(testConfig())
+	dev := MustNewDevice(d, rng.New(63), 0)
+	var buf bytes.Buffer
+	dev.ExportModel().WriteTo(&buf)
+	raw := buf.Bytes()
+	// Overwrite the table-length field (offset: 4+4+4+4+8 = 24).
+	raw[24] = 0xff
+	raw[25] = 0xff
+	raw[26] = 0xff
+	raw[27] = 0x7f
+	if _, err := ReadModel(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized dimension accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Package crp implements the challenge/response-pair database verification
+// path of Section 2: the verifier records reference responses before the
+// device is deployed and consumes them one challenge seed per
+// authentication.
+//
+// The paper names the two drawbacks this repository's experiments quantify
+// against the emulation approach: the database's storage grows linearly
+// with the number of supported authentications, and — because re-using a
+// CRP would enable replay — each seed is single-use, bounding the device's
+// lifetime authentication count by the enrollment effort.
+package crp
+
+import (
+	"errors"
+	"fmt"
+
+	"pufatt/internal/core"
+	"pufatt/internal/obfuscate"
+)
+
+// Errors returned by database lookups.
+var (
+	ErrUnknownSeed = errors.New("crp: challenge seed not enrolled")
+	ErrSeedUsed    = errors.New("crp: challenge seed already consumed (replay protection)")
+	ErrExhausted   = errors.New("crp: database exhausted")
+)
+
+type entry struct {
+	refs [][]uint8 // eight reference raw responses
+	used bool
+}
+
+// Database is an enrolled CRP store for one device. It implements
+// core.ReferenceSource, so a core.VerifierPipeline can run off it directly.
+type Database struct {
+	bits    int
+	chipID  int
+	order   []uint64 // enrollment order, for NextUnused
+	entries map[uint64]*entry
+	cursor  int
+}
+
+// Enroll measures the device's noiseless reference responses for every
+// challenge seed and records them. Enrollment happens in the trusted
+// facility before deployment, so it uses the device's noiseless (averaged)
+// behaviour.
+func Enroll(dev *core.Device, seeds []uint64) (*Database, error) {
+	db := &Database{
+		bits:    dev.Design().ResponseBits(),
+		chipID:  dev.ChipID(),
+		entries: make(map[uint64]*entry, len(seeds)),
+	}
+	for _, seed := range seeds {
+		if _, dup := db.entries[seed]; dup {
+			return nil, fmt.Errorf("crp: duplicate enrollment seed %#x", seed)
+		}
+		refs := make([][]uint8, obfuscate.ResponsesPerOutput)
+		for j := range refs {
+			ch := dev.Design().ExpandChallenge(seed, j)
+			refs[j] = append([]uint8(nil), dev.NoiselessResponse(ch)...)
+		}
+		db.entries[seed] = &entry{refs: refs}
+		db.order = append(db.order, seed)
+	}
+	return db, nil
+}
+
+// ChipID returns the chip this database was enrolled for.
+func (db *Database) ChipID() int { return db.chipID }
+
+// ResponseBits implements core.ReferenceSource.
+func (db *Database) ResponseBits() int { return db.bits }
+
+// ReferenceResponse implements core.ReferenceSource. The seed must have
+// been claimed (Claim or NextUnused) first; unclaimed seeds are rejected so
+// that a protocol bug cannot silently bypass replay protection.
+func (db *Database) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
+	e, ok := db.entries[seed]
+	if !ok {
+		return nil, ErrUnknownSeed
+	}
+	if !e.used {
+		return nil, fmt.Errorf("crp: seed %#x not claimed before use", seed)
+	}
+	if j < 0 || j >= len(e.refs) {
+		return nil, fmt.Errorf("crp: reference index %d out of range", j)
+	}
+	return e.refs[j], nil
+}
+
+// Claim marks a seed as consumed. It fails on unknown or already-used
+// seeds; a seed can never be claimed twice.
+func (db *Database) Claim(seed uint64) error {
+	e, ok := db.entries[seed]
+	if !ok {
+		return ErrUnknownSeed
+	}
+	if e.used {
+		return ErrSeedUsed
+	}
+	e.used = true
+	return nil
+}
+
+// NextUnused claims and returns the next unused seed in enrollment order.
+func (db *Database) NextUnused() (uint64, error) {
+	for db.cursor < len(db.order) {
+		seed := db.order[db.cursor]
+		db.cursor++
+		if err := db.Claim(seed); err == nil {
+			return seed, nil
+		}
+	}
+	return 0, ErrExhausted
+}
+
+// Remaining returns how many authentications the database still supports.
+func (db *Database) Remaining() int {
+	n := 0
+	for _, e := range db.entries {
+		if !e.used {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of enrolled seeds.
+func (db *Database) Len() int { return len(db.entries) }
+
+// StorageBytes returns the approximate storage the database requires: per
+// seed, 8 bytes of seed plus eight reference responses of ResponseBits each.
+// This is the scalability cost the emulation approach avoids.
+func (db *Database) StorageBytes() int {
+	perSeed := 8 + obfuscate.ResponsesPerOutput*((db.bits+7)/8)
+	return perSeed * len(db.entries)
+}

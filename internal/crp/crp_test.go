@@ -1,0 +1,147 @@
+package crp
+
+import (
+	"errors"
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+func testDevice(t *testing.T) *core.Device {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	return core.MustNewDevice(core.MustNewDesign(cfg), rng.New(1), 0)
+}
+
+func TestEnrollAndVerifyFlow(t *testing.T) {
+	dev := testDevice(t)
+	seeds := []uint64{10, 20, 30}
+	db, err := Enroll(dev, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 || db.Remaining() != 3 {
+		t.Fatalf("Len=%d Remaining=%d", db.Len(), db.Remaining())
+	}
+	// Full reverse-FE verification through the database source.
+	p := core.MustNewPipeline(dev)
+	v, err := core.NewVerifierPipelineFrom(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := db.NextUnused()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := v.Recover(seed, out.Helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HammingDistance(z, out.Z) != 0 {
+		t.Error("database-backed recovery disagrees with prover z")
+	}
+	if db.Remaining() != 2 {
+		t.Errorf("Remaining after one authentication = %d", db.Remaining())
+	}
+}
+
+func TestEnrollRejectsDuplicateSeeds(t *testing.T) {
+	dev := testDevice(t)
+	if _, err := Enroll(dev, []uint64{5, 5}); err == nil {
+		t.Error("duplicate seeds accepted")
+	}
+}
+
+func TestReplayProtection(t *testing.T) {
+	dev := testDevice(t)
+	db, _ := Enroll(dev, []uint64{1})
+	if err := db.Claim(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Claim(1); !errors.Is(err, ErrSeedUsed) {
+		t.Errorf("second claim: %v, want ErrSeedUsed", err)
+	}
+}
+
+func TestUnknownSeed(t *testing.T) {
+	dev := testDevice(t)
+	db, _ := Enroll(dev, []uint64{1})
+	if err := db.Claim(99); !errors.Is(err, ErrUnknownSeed) {
+		t.Errorf("unknown claim: %v", err)
+	}
+	if _, err := db.ReferenceResponse(99, 0); !errors.Is(err, ErrUnknownSeed) {
+		t.Errorf("unknown lookup: %v", err)
+	}
+}
+
+func TestReferenceRequiresClaim(t *testing.T) {
+	dev := testDevice(t)
+	db, _ := Enroll(dev, []uint64{1})
+	if _, err := db.ReferenceResponse(1, 0); err == nil {
+		t.Error("unclaimed reference lookup accepted")
+	}
+	db.Claim(1)
+	if _, err := db.ReferenceResponse(1, 0); err != nil {
+		t.Errorf("claimed lookup failed: %v", err)
+	}
+	if _, err := db.ReferenceResponse(1, 8); err == nil {
+		t.Error("out-of-range reference index accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	dev := testDevice(t)
+	db, _ := Enroll(dev, []uint64{1, 2})
+	for i := 0; i < 2; i++ {
+		if _, err := db.NextUnused(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.NextUnused(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhausted NextUnused: %v", err)
+	}
+	if db.Remaining() != 0 {
+		t.Errorf("Remaining = %d", db.Remaining())
+	}
+}
+
+func TestStorageScalesLinearly(t *testing.T) {
+	dev := testDevice(t)
+	seeds := make([]uint64, 50)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	db50, _ := Enroll(dev, seeds)
+	db10, _ := Enroll(dev, seeds[:10])
+	if db50.StorageBytes() != 5*db10.StorageBytes() {
+		t.Errorf("storage not linear: %d vs %d", db50.StorageBytes(), db10.StorageBytes())
+	}
+	// 16-bit responses: 8 + 8*2 = 24 bytes per seed.
+	if got := db10.StorageBytes(); got != 240 {
+		t.Errorf("StorageBytes = %d, want 240", got)
+	}
+}
+
+func TestReferencesMatchEmulator(t *testing.T) {
+	dev := testDevice(t)
+	db, _ := Enroll(dev, []uint64{7})
+	db.Claim(7)
+	em := dev.Emulator()
+	for j := 0; j < 8; j++ {
+		fromDB, err := db.ReferenceResponse(7, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromEm, _ := em.ReferenceResponse(7, j)
+		if stats.HammingDistance(fromDB, fromEm) != 0 {
+			t.Errorf("reference %d: database and emulator disagree", j)
+		}
+	}
+}

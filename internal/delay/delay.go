@@ -1,0 +1,223 @@
+// Package delay computes gate propagation delays under process, voltage and
+// temperature (PVT) variation.
+//
+// The paper's evaluation (Section 4.1) leverages the delay model of Markovic
+// et al., "Ultralow-power design in near-threshold region" (Proc. IEEE 2010)
+// to calculate gate-level delay under process variation. Following that
+// model, the drain current is expressed with the EKV unified expression
+//
+//	I_on ∝ µ(T) · ln²(1 + e^((Vdd − Vth(T)) / (2·n·φt)))
+//
+// which is valid continuously across the sub-, near- and super-threshold
+// regimes, and the gate delay is the usual CV/I form
+//
+//	t_d = factor(kind) · K · Vdd / I_on
+//
+// Temperature enters through the thermal voltage φt = kT/q, a linear
+// threshold-voltage shift Vth(T) = Vth0 − kvt·(T − T0), and mobility
+// degradation µ(T) = µ0·(T/T0)^−1.5. Process variation enters as a per-gate
+// threshold-voltage offset ΔVth produced by the quad-tree model in package
+// variation (σ/µ = 0.1 at the 45 nm node, per the paper).
+//
+// All delays are in picoseconds. The scale constant K is calibrated so that
+// a minimum-size inverter at nominal conditions has Params.BasePs delay.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"pufatt/internal/netlist"
+)
+
+// Conditions describes an operating corner.
+type Conditions struct {
+	// VddScale multiplies the nominal supply voltage. The paper examines
+	// 0.90 to 1.10.
+	VddScale float64
+	// TempC is the junction temperature in degrees Celsius. The paper
+	// examines −20 to +120.
+	TempC float64
+}
+
+// Nominal returns the nominal operating corner (100 % Vdd, 25 °C).
+func Nominal() Conditions { return Conditions{VddScale: 1.0, TempC: 25} }
+
+// String formats the corner for experiment logs.
+func (c Conditions) String() string {
+	return fmt.Sprintf("Vdd=%.0f%% T=%+.0f°C", c.VddScale*100, c.TempC)
+}
+
+// Params holds the technology parameters of the delay model.
+type Params struct {
+	VddNom       float64 // nominal supply voltage (V)
+	Vth0         float64 // nominal threshold voltage at TNomK (V)
+	SigmaVthFrac float64 // σ(Vth)/Vth0; the paper uses 0.1
+	SlopeN       float64 // subthreshold slope factor n
+	KvtPerK      float64 // Vth temperature coefficient (V/K)
+	MobilityExp  float64 // mobility temperature exponent (µ ∝ (T/T0)^−exp)
+	TNomK        float64 // reference temperature (K)
+	BasePs       float64 // inverter delay at nominal conditions (ps)
+}
+
+// Default45nm returns parameters representative of a 45 nm high-performance
+// process (PTM-like): Vdd 1.1 V, Vth 0.466 V, σ/µ(Vth) = 0.1.
+func Default45nm() Params {
+	return Params{
+		VddNom:       1.1,
+		Vth0:         0.466,
+		SigmaVthFrac: 0.1,
+		SlopeN:       1.5,
+		KvtPerK:      0.0008,
+		MobilityExp:  1.5,
+		TNomK:        300,
+		BasePs:       15,
+	}
+}
+
+// SigmaVth returns the absolute threshold-voltage standard deviation in
+// volts.
+func (p Params) SigmaVth() float64 { return p.SigmaVthFrac * p.Vth0 }
+
+// kindFactor maps each cell kind to its delay relative to an inverter,
+// reflecting stack height and internal structure (an XOR is a two-level
+// structure, an AND is NAND+INV, ...). Input and constant pseudo-gates have
+// zero delay.
+var kindFactor = map[netlist.Kind]float64{
+	netlist.Input:  0,
+	netlist.Const0: 0,
+	netlist.Const1: 0,
+	netlist.Buf:    1.1,
+	netlist.Not:    1.0,
+	netlist.And:    1.5,
+	netlist.Or:     1.6,
+	netlist.Nand:   1.2,
+	netlist.Nor:    1.4,
+	netlist.Xor:    2.2,
+	netlist.Xnor:   2.2,
+}
+
+// KindFactor returns the relative drive factor for a gate kind.
+func KindFactor(k netlist.Kind) float64 {
+	f, ok := kindFactor[k]
+	if !ok {
+		panic("delay: no delay factor for gate kind " + k.String())
+	}
+	return f
+}
+
+// thermalVoltage returns φt = kT/q in volts for a temperature in kelvin.
+func thermalVoltage(tK float64) float64 {
+	const kOverQ = 8.617333262e-5 // V/K
+	return kOverQ * tK
+}
+
+// Model evaluates the delay equations for one parameter set.
+type Model struct {
+	p     Params
+	scale float64 // K such that inverter delay at nominal = BasePs
+}
+
+// NewModel returns a Model calibrated to the given parameters.
+func NewModel(p Params) *Model {
+	m := &Model{p: p, scale: 1}
+	nom := m.rawDelay(1.0, 0, Nominal())
+	m.scale = p.BasePs / nom
+	return m
+}
+
+// Params returns the technology parameters of the model.
+func (m *Model) Params() Params { return m.p }
+
+// current returns the normalised on-current for the given supply voltage,
+// effective threshold voltage and temperature (kelvin), per the EKV unified
+// model with mobility temperature scaling.
+func (m *Model) current(vdd, vth, tK float64) float64 {
+	phiT := thermalVoltage(tK)
+	x := (vdd - vth) / (2 * m.p.SlopeN * phiT)
+	// ln(1+e^x) computed stably for large |x|.
+	var lt float64
+	if x > 30 {
+		lt = x
+	} else {
+		lt = math.Log1p(math.Exp(x))
+	}
+	mob := math.Pow(tK/m.p.TNomK, -m.p.MobilityExp)
+	return mob * lt * lt
+}
+
+// rawDelay returns factor · Vdd / I_on without the calibration constant.
+func (m *Model) rawDelay(factor, dVth float64, cond Conditions) float64 {
+	vdd := m.p.VddNom * cond.VddScale
+	tK := cond.TempC + 273.15
+	vth := m.p.Vth0 - m.p.KvtPerK*(tK-m.p.TNomK) + dVth
+	i := m.current(vdd, vth, tK)
+	if i <= 0 {
+		return math.Inf(1)
+	}
+	return factor * vdd / i
+}
+
+// GateDelay returns the propagation delay in picoseconds of a gate of the
+// given kind with per-gate threshold offset dVth (V) at the given corner.
+func (m *Model) GateDelay(kind netlist.Kind, dVth float64, cond Conditions) float64 {
+	f := KindFactor(kind)
+	if f == 0 {
+		return 0
+	}
+	return m.scale * m.rawDelay(f, dVth, cond)
+}
+
+// InverterDelay returns the delay of a nominal inverter at the corner; a
+// convenient scalar measure of how the corner speeds up or slows down the
+// whole circuit.
+func (m *Model) InverterDelay(cond Conditions) float64 {
+	return m.GateDelay(netlist.Not, 0, cond)
+}
+
+// Sensitivity returns d(delay)/d(Vth) in ps/V for an inverter at the corner,
+// estimated by central difference. Used by tests to confirm that slower
+// corners amplify variation, as the near-threshold literature predicts.
+func (m *Model) Sensitivity(cond Conditions) float64 {
+	const h = 1e-3
+	return (m.GateDelay(netlist.Not, h, cond) - m.GateDelay(netlist.Not, -h, cond)) / (2 * h)
+}
+
+// Table holds per-gate delays (ps) for one netlist at one corner, plus any
+// per-gate additive skew (routing mismatch, PDL stages). It is the "gate
+// level delay table" H of the paper: the secret the verifier uses to emulate
+// the PUF.
+type Table struct {
+	Ps []float64
+}
+
+// BuildTable computes the per-gate delay table for the netlist given the
+// per-gate threshold offsets (from the variation model), optional per-gate
+// additive skew in ps (nil for none), and the operating corner.
+func BuildTable(m *Model, nl *netlist.Netlist, dVth []float64, skewPs []float64, cond Conditions) Table {
+	if len(dVth) != len(nl.Gates) {
+		panic(fmt.Sprintf("delay: %d Vth offsets for %d gates", len(dVth), len(nl.Gates)))
+	}
+	if skewPs != nil && len(skewPs) != len(nl.Gates) {
+		panic(fmt.Sprintf("delay: %d skew entries for %d gates", len(skewPs), len(nl.Gates)))
+	}
+	t := Table{Ps: make([]float64, len(nl.Gates))}
+	for g := range nl.Gates {
+		d := m.GateDelay(nl.Gates[g].Kind, dVth[g], cond)
+		if skewPs != nil {
+			d += skewPs[g]
+		}
+		if d < 0 {
+			d = 0
+		}
+		t.Ps[g] = d
+	}
+	return t
+}
+
+// Clone returns a deep copy of the table.
+func (t Table) Clone() Table {
+	ps := make([]float64, len(t.Ps))
+	copy(ps, t.Ps)
+	return Table{Ps: ps}
+}

@@ -1,0 +1,210 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pufatt/internal/netlist"
+)
+
+func TestNominalCalibration(t *testing.T) {
+	p := Default45nm()
+	m := NewModel(p)
+	got := m.GateDelay(netlist.Not, 0, Nominal())
+	if math.Abs(got-p.BasePs) > 1e-9 {
+		t.Errorf("nominal inverter delay = %v ps, want %v", got, p.BasePs)
+	}
+}
+
+func TestPseudoGatesHaveZeroDelay(t *testing.T) {
+	m := NewModel(Default45nm())
+	for _, k := range []netlist.Kind{netlist.Input, netlist.Const0, netlist.Const1} {
+		if d := m.GateDelay(k, 0, Nominal()); d != 0 {
+			t.Errorf("%v delay = %v, want 0", k, d)
+		}
+	}
+}
+
+func TestKindOrdering(t *testing.T) {
+	m := NewModel(Default45nm())
+	cond := Nominal()
+	inv := m.GateDelay(netlist.Not, 0, cond)
+	nand := m.GateDelay(netlist.Nand, 0, cond)
+	and := m.GateDelay(netlist.And, 0, cond)
+	xor := m.GateDelay(netlist.Xor, 0, cond)
+	if !(inv < nand && nand < and && and < xor) {
+		t.Errorf("delay ordering violated: inv=%v nand=%v and=%v xor=%v", inv, nand, and, xor)
+	}
+}
+
+func TestHigherVthIsSlower(t *testing.T) {
+	m := NewModel(Default45nm())
+	f := func(raw uint8) bool {
+		dv := (float64(raw)/255*2 - 1) * 0.1 // ΔVth in [-0.1, 0.1] V
+		base := m.GateDelay(netlist.Not, 0, Nominal())
+		d := m.GateDelay(netlist.Not, dv, Nominal())
+		if dv > 1e-6 {
+			return d > base
+		}
+		if dv < -1e-6 {
+			return d < base
+		}
+		return math.Abs(d-base) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerVddIsSlower(t *testing.T) {
+	m := NewModel(Default45nm())
+	d90 := m.InverterDelay(Conditions{VddScale: 0.9, TempC: 25})
+	d100 := m.InverterDelay(Conditions{VddScale: 1.0, TempC: 25})
+	d110 := m.InverterDelay(Conditions{VddScale: 1.1, TempC: 25})
+	if !(d90 > d100 && d100 > d110) {
+		t.Errorf("Vdd scaling wrong: d90=%v d100=%v d110=%v", d90, d100, d110)
+	}
+	// The paper's ±10 % window should move delay by a noticeable but
+	// bounded factor at a super-threshold 45 nm corner.
+	if d90/d110 < 1.05 || d90/d110 > 3 {
+		t.Errorf("delay spread across Vdd window = %v, implausible", d90/d110)
+	}
+}
+
+func TestTemperatureMonotonicity(t *testing.T) {
+	// In the super-threshold regime mobility degradation dominates the Vth
+	// decrease, so hotter should be slower across the paper's range.
+	m := NewModel(Default45nm())
+	prev := m.InverterDelay(Conditions{VddScale: 1, TempC: -20})
+	for temp := 0.0; temp <= 120; temp += 20 {
+		d := m.InverterDelay(Conditions{VddScale: 1, TempC: temp})
+		if d <= prev {
+			t.Errorf("delay not increasing at T=%v: %v <= %v", temp, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestVariationSensitivityGrowsAtLowVdd(t *testing.T) {
+	// Near-threshold literature: the same ΔVth causes a larger delay shift
+	// at lower supply. This is why the PUF is queried at a fixed corner.
+	m := NewModel(Default45nm())
+	sHigh := m.Sensitivity(Conditions{VddScale: 1.1, TempC: 25})
+	sLow := m.Sensitivity(Conditions{VddScale: 0.9, TempC: 25})
+	if sLow <= sHigh {
+		t.Errorf("sensitivity at low Vdd (%v) should exceed high Vdd (%v)", sLow, sHigh)
+	}
+}
+
+func TestRelativeDelayStableAcrossCorners(t *testing.T) {
+	// The paper argues the ALU PUF is robust because both delay paths scale
+	// together across corners: the delay RATIO of two gates with different
+	// ΔVth must be nearly corner-invariant compared to the absolute shift.
+	m := NewModel(Default45nm())
+	corners := []Conditions{
+		{VddScale: 0.9, TempC: -20},
+		{VddScale: 1.0, TempC: 25},
+		{VddScale: 1.1, TempC: 120},
+	}
+	var ratios []float64
+	for _, c := range corners {
+		fast := m.GateDelay(netlist.Xor, -0.02, c)
+		slow := m.GateDelay(netlist.Xor, +0.02, c)
+		ratios = append(ratios, slow/fast)
+	}
+	for _, r := range ratios[1:] {
+		if math.Abs(r-ratios[0])/ratios[0] > 0.25 {
+			t.Errorf("delay ratio varies too much across corners: %v", ratios)
+		}
+	}
+}
+
+func TestBuildTable(t *testing.T) {
+	m := NewModel(Default45nm())
+	nl := netlist.BuildFullAdderNetlist()
+	dvth := make([]float64, len(nl.Gates))
+	tab := BuildTable(m, nl, dvth, nil, Nominal())
+	if len(tab.Ps) != len(nl.Gates) {
+		t.Fatalf("table size %d, want %d", len(tab.Ps), len(nl.Gates))
+	}
+	for g := range nl.Gates {
+		switch nl.Gates[g].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			if tab.Ps[g] != 0 {
+				t.Errorf("pseudo-gate %d has delay %v", g, tab.Ps[g])
+			}
+		default:
+			if tab.Ps[g] <= 0 {
+				t.Errorf("gate %d has non-positive delay %v", g, tab.Ps[g])
+			}
+		}
+	}
+}
+
+func TestBuildTableSkew(t *testing.T) {
+	m := NewModel(Default45nm())
+	nl := netlist.BuildFullAdderNetlist()
+	dvth := make([]float64, len(nl.Gates))
+	skew := make([]float64, len(nl.Gates))
+	for i := range skew {
+		skew[i] = 2.5
+	}
+	plain := BuildTable(m, nl, dvth, nil, Nominal())
+	skewed := BuildTable(m, nl, dvth, skew, Nominal())
+	for g := range nl.Gates {
+		if math.Abs(skewed.Ps[g]-plain.Ps[g]-2.5) > 1e-9 {
+			t.Errorf("gate %d: skew not added (plain %v, skewed %v)", g, plain.Ps[g], skewed.Ps[g])
+		}
+	}
+}
+
+func TestBuildTableNegativeClamped(t *testing.T) {
+	m := NewModel(Default45nm())
+	nl := netlist.BuildFullAdderNetlist()
+	dvth := make([]float64, len(nl.Gates))
+	skew := make([]float64, len(nl.Gates))
+	for i := range skew {
+		skew[i] = -1e6
+	}
+	tab := BuildTable(m, nl, dvth, skew, Nominal())
+	for g, d := range tab.Ps {
+		if d < 0 {
+			t.Errorf("gate %d delay %v went negative", g, d)
+		}
+	}
+}
+
+func TestBuildTablePanicsOnSizeMismatch(t *testing.T) {
+	m := NewModel(Default45nm())
+	nl := netlist.BuildFullAdderNetlist()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on offset size mismatch")
+		}
+	}()
+	BuildTable(m, nl, make([]float64, 1), nil, Nominal())
+}
+
+func TestTableClone(t *testing.T) {
+	tab := Table{Ps: []float64{1, 2, 3}}
+	c := tab.Clone()
+	c.Ps[0] = 99
+	if tab.Ps[0] != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestSigmaVth(t *testing.T) {
+	p := Default45nm()
+	if got := p.SigmaVth(); math.Abs(got-0.0466) > 1e-9 {
+		t.Errorf("SigmaVth = %v, want 0.0466", got)
+	}
+}
+
+func TestConditionsString(t *testing.T) {
+	s := Conditions{VddScale: 0.9, TempC: -20}.String()
+	if s != "Vdd=90% T=-20°C" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/fpga"
+)
+
+func TestFigure3SmallRun(t *testing.T) {
+	res, err := Figure3(core.DefaultConfig(), 2, 1500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated regime: raw around 35.9 % of 32 bits, obfuscation
+	// pushing toward 50 %.
+	raw := res.RawMean()
+	if math.Abs(raw-11.48) > 1.6 {
+		t.Errorf("raw inter-chip mean %.2f bits, paper 11.48", raw)
+	}
+	if res.ObfMean() <= raw {
+		t.Error("obfuscation did not increase inter-chip distance")
+	}
+	if res.ObfMean() < 13 || res.ObfMean() > 17 {
+		t.Errorf("obfuscated mean %.2f bits outside plausible band", res.ObfMean())
+	}
+	out := res.Format(false)
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "paper") {
+		t.Errorf("format output missing content:\n%s", out)
+	}
+	if !strings.Contains(res.Format(true), "#") {
+		t.Error("histogram mode missing bars")
+	}
+}
+
+func TestFigure3NeedsTwoChips(t *testing.T) {
+	if _, err := Figure3(core.DefaultConfig(), 1, 10, 1); err == nil {
+		t.Error("one-chip figure 3 accepted")
+	}
+}
+
+func TestFigure3MoreChipsPairwise(t *testing.T) {
+	res, err := Figure3(core.DefaultConfig(), 3, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 chips → 3 pairs per challenge.
+	if got := res.RawHist.Total(); got != 600 {
+		t.Errorf("pairwise observations = %d, want 600", got)
+	}
+}
+
+func TestFigure4SmallRun(t *testing.T) {
+	res, err := Figure4(core.DefaultConfig(), 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corners) != 6 {
+		t.Fatalf("%d corners", len(res.Corners))
+	}
+	if math.Abs(res.MeanBits-3.62) > 1.3 {
+		t.Errorf("grand intra mean %.2f bits, paper 3.62", res.MeanBits)
+	}
+	// The FNR hierarchy: claimed t=16 << voted t=7 << raw t=7.
+	if !(res.FNRPaperClaim < res.FNRVotedT7 || res.FNRPaperClaim < 1e-4) {
+		t.Errorf("FNR(t=16)=%g should be tiny", res.FNRPaperClaim)
+	}
+	if res.FNRVotedT7 >= res.FNRBoundedT7 {
+		t.Errorf("majority voting did not reduce FNR: %g vs %g", res.FNRVotedT7, res.FNRBoundedT7)
+	}
+	if res.FNRPaperClaim > 1e-4 {
+		t.Errorf("t=16 FNR = %g, should be near the paper's 1.53e-7 regime", res.FNRPaperClaim)
+	}
+	out := res.Format(false)
+	for _, want := range []string{"Figure 4", "metastability", "Vdd 90%", "T +120C", "FNR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4CornersStayMetastabilityDominated(t *testing.T) {
+	res, err := Figure4(core.DefaultConfig(), 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := res.Corners[0].Hist.Mean()
+	for _, c := range res.Corners[1:] {
+		if c.Hist.Mean() > 2.5*nominal {
+			t.Errorf("corner %s intra HD %.2f far exceeds metastability baseline %.2f — robustness claim broken",
+				c.Name, c.Hist.Mean(), nominal)
+		}
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	out, err := Table1Report(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ALU PUF", "Syndrome", "PDL", "SIRC", "4096"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 report missing %q", want)
+		}
+	}
+	if _, err := Table1Report(20); err == nil {
+		t.Error("unsupported width accepted")
+	}
+}
+
+func TestFPGAMeasurementSmallRun(t *testing.T) {
+	res, err := FPGAMeasurement(fpga.DefaultConfig(), 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.InterRaw.Mean()-3.0) > 1.3 {
+		t.Errorf("FPGA inter raw %.2f bits, paper 3.0", res.InterRaw.Mean())
+	}
+	if res.InterObf.Mean() <= res.InterRaw.Mean() {
+		t.Error("obfuscation did not raise FPGA inter-chip HD")
+	}
+	if math.Abs(res.Intra.Mean()-2.9) > 1.3 {
+		t.Errorf("FPGA intra %.2f bits, paper 2.9", res.Intra.Mean())
+	}
+	out := res.Format()
+	if !strings.Contains(out, "PDL calibration") {
+		t.Errorf("format missing calibration info:\n%s", out)
+	}
+}
+
+func TestSecuritySuite(t *testing.T) {
+	cfg := DefaultSecurityConfig(7)
+	cfg.MLTrain = 1200
+	cfg.MLTest = 200
+	cfg.OverclockTrials = 40
+	res, err := RunSecuritySuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sane() {
+		t.Fatalf("security outcomes wrong:\n%s", res.Format())
+	}
+	if res.MLRawAccuracy < 0.9 {
+		t.Errorf("raw ML accuracy %.3f, expected near-total break", res.MLRawAccuracy)
+	}
+	if res.MLObfAccuracy > 0.9 {
+		t.Errorf("obfuscated ML accuracy %.3f, obfuscation inert", res.MLObfAccuracy)
+	}
+	if res.MLObfFullZ > 0.1 {
+		t.Errorf("full-z prediction %.3f, should be ineffective", res.MLObfFullZ)
+	}
+	if res.OracleAttackSeconds < 10*res.HonestComputeSeconds {
+		t.Error("oracle attack not clearly slower than honest compute")
+	}
+	out := res.Format()
+	for _, want := range []string{"honest prover", "forgery", "oracle", "ML modeling", "overclock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("security format missing %q", want)
+		}
+	}
+}
+
+func TestSecurityGames(t *testing.T) {
+	report, err := SecurityGames(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.CorrectnessHolds() {
+		t.Errorf("correctness failed:\n%s", report.Format())
+	}
+	if !report.SoundnessHolds() {
+		t.Errorf("soundness failed:\n%s", report.Format())
+	}
+	if len(report.Soundness) != 4 {
+		t.Errorf("%d adversary strategies, want 4", len(report.Soundness))
+	}
+}

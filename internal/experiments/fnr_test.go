@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+func TestMeasuredPipelineFNR(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	dev := core.MustNewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(90), 0)
+	pl := core.MustNewPipeline(dev)
+	vp := core.MustNewVerifierPipeline(dev.Emulator())
+	src := rng.New(91)
+	fails := 0
+	const N = 4000
+	for k := 0; k < N; k++ {
+		seed := src.Uint64()
+		out, err := pl.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := vp.Recover(seed, out.Helpers)
+		if err != nil || stats.HammingDistance(z, out.Z) != 0 {
+			fails++
+		}
+	}
+	t.Logf("measured PUF() recovery failure rate: %d/%d = %.2e", fails, N, float64(fails)/N)
+	// 4000 invocations recover 32000 raw responses; at the calibrated
+	// operating point the pipeline should essentially never fail.
+	if fails > 2 {
+		t.Errorf("PUF() recovery failed %d/%d times; reliability regression", fails, N)
+	}
+}

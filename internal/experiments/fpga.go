@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pufatt/internal/fpga"
+	"pufatt/internal/obfuscate"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+// FPGAResult reproduces the Section 4.1 two-board measurement: PDL
+// calibration followed by inter- and intra-chip HD of the 16-bit PUF.
+type FPGAResult struct {
+	Challenges   int
+	Cal0, Cal1   fpga.CalibrationReport
+	InterRaw     stats.Summary
+	InterObf     stats.Summary
+	Intra        stats.Summary
+	PaperInter   float64 // 3.0 bits
+	PaperInterOb float64 // 6.6 bits
+	PaperIntra   float64 // 2.9 bits
+}
+
+// FPGAMeasurement builds two boards from the shared bitstream, calibrates
+// their PDLs, and measures the paper's three statistics over n challenges.
+func FPGAMeasurement(cfg fpga.Config, n int, seed uint64) (*FPGAResult, error) {
+	design, err := fpga.NewDesign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	b0, err := fpga.NewBoard(design, master, 0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := fpga.NewBoard(design, master, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cal := rng.New(seed).Sub("fpga/cal")
+	res := &FPGAResult{
+		Challenges:   n,
+		PaperInter:   3.0,
+		PaperInterOb: 6.6,
+		PaperIntra:   2.9,
+	}
+	res.Cal0 = b0.Calibrate(12, 300, cal.Sub("b0"))
+	res.Cal1 = b1.Calibrate(12, 300, cal.Sub("b1"))
+	net, err := obfuscate.New(design.ResponseBits())
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seed).Sub("fpga/challenges")
+	g0 := make([][]uint8, obfuscate.ResponsesPerOutput)
+	g1 := make([][]uint8, obfuscate.ResponsesPerOutput)
+	for k := 0; k < n; k++ {
+		s := src.Uint64()
+		for j := range g0 {
+			ch := design.ExpandChallenge(s, j)
+			g0[j] = b0.Device().RawResponseCopy(ch)
+			g1[j] = b1.Device().RawResponseCopy(ch)
+		}
+		res.InterRaw.Add(float64(stats.HammingDistance(g0[0], g1[0])))
+		z0, err := net.Apply(g0)
+		if err != nil {
+			return nil, err
+		}
+		z1, err := net.Apply(g1)
+		if err != nil {
+			return nil, err
+		}
+		res.InterObf.Add(float64(stats.HammingDistance(z0, z1)))
+		again := b0.Device().RawResponse(design.ExpandChallenge(s, 0))
+		res.Intra.Add(float64(stats.HammingDistance(g0[0], again)))
+	}
+	return res, nil
+}
+
+// Format renders the FPGA comparison.
+func (r *FPGAResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FPGA measurement (Section 4.1) — two boards, 16-bit PUF, %d challenges\n", r.Challenges)
+	fmt.Fprintf(&b, "  PDL calibration residual bias: board0 mean %.3f max %.3f; board1 mean %.3f max %.3f\n",
+		r.Cal0.MeanResidual, r.Cal0.MaxResidual, r.Cal1.MeanResidual, r.Cal1.MaxResidual)
+	fmt.Fprintf(&b, "  inter-chip raw:        %5.2f bits (%4.1f%%)   paper: %4.1f bits (18.8%%)\n",
+		r.InterRaw.Mean(), 100*r.InterRaw.Mean()/16, r.PaperInter)
+	fmt.Fprintf(&b, "  inter-chip obfuscated: %5.2f bits (%4.1f%%)   paper: %4.1f bits (41.3%%)\n",
+		r.InterObf.Mean(), 100*r.InterObf.Mean()/16, r.PaperInterOb)
+	fmt.Fprintf(&b, "  intra-chip:            %5.2f bits (%4.1f%%)   paper: %4.1f bits (18.6%%)\n",
+		r.Intra.Mean(), 100*r.Intra.Mean()/16, r.PaperIntra)
+	return b.String()
+}
+
+// Table1Report reproduces the paper's Table 1 resource comparison.
+func Table1Report(width int) (string, error) {
+	rows, err := fpga.Table1(width)
+	if err != nil {
+		return "", err
+	}
+	return "Table 1 — FPGA implementation resources (" +
+		fmt.Sprintf("%d-bit ALU PUF)\n", width) + fpga.FormatTable1(rows), nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/fpga"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+// TestFPGAPipelineReliability quantifies a gap the paper leaves implicit:
+// its FPGA prototype only ever measured PUF statistics, never the full
+// attestation pipeline. At the prototype's noise level (intra-chip HD
+// ~18 %) the RM(1,4) sketch with 5-vote majority still fails a substantial
+// share of recoveries, so the fielded design needs either the 32-bit code,
+// more voting, or the ASIC noise floor. The test asserts the direction
+// (FPGA >> ASIC failure rate) and logs the measured rates for
+// EXPERIMENTS.md.
+func TestFPGAPipelineReliability(t *testing.T) {
+	cfg := fpga.DefaultConfig()
+	design, err := fpga.NewDesign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board, err := fpga.NewBoard(design, rng.New(42), 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board.Calibrate(12, 300, rng.New(7))
+	measure := func(dev *core.Device, n int) float64 {
+		pl := core.MustNewPipeline(dev)
+		vp := core.MustNewVerifierPipeline(dev.Emulator())
+		src := rng.New(9)
+		fails := 0
+		for k := 0; k < n; k++ {
+			seed := src.Uint64()
+			out, err := pl.Query(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			z, err := vp.Recover(seed, out.Helpers)
+			if err != nil || stats.HammingDistance(z, out.Z) != 0 {
+				fails++
+			}
+		}
+		return float64(fails) / float64(n)
+	}
+	fpgaFail := measure(board.Device(), 400)
+	asicCfg := core.DefaultConfig()
+	asicCfg.Width = 16
+	asicDev := core.MustNewDevice(core.MustNewDesign(asicCfg), rng.New(43), 0)
+	asicFail := measure(asicDev, 400)
+	t.Logf("PUF() recovery failure rate: FPGA board %.3f, 16-bit ASIC %.3f", fpgaFail, asicFail)
+	if fpgaFail <= asicFail {
+		t.Errorf("expected the FPGA prototype to be less reliable: %.3f vs %.3f", fpgaFail, asicFail)
+	}
+	if fpgaFail < 0.02 {
+		t.Errorf("FPGA failure rate %.3f suspiciously low for 18%% intra-chip noise", fpgaFail)
+	}
+}

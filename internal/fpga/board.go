@@ -1,0 +1,201 @@
+package fpga
+
+import (
+	"fmt"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+)
+
+// Config parameterises the FPGA board model.
+type Config struct {
+	// Width is the PUF operand width (16 on the paper's Virtex-5 parts).
+	Width int
+	// RoutingSkewPs is the per-gate routing mismatch of the *bitstream*
+	// (shared by every board programmed with it): the dominant asymmetry
+	// the automated router introduces.
+	RoutingSkewPs float64
+	// BoardSkewPs is the per-bit arbiter-input mismatch each individual
+	// board adds (die-to-die routing/process differences).
+	BoardSkewPs float64
+	// JitterPs is the arbiter noise on FPGA (larger than ASIC: jittery
+	// clock networks and uncompensated supply noise).
+	JitterPs float64
+	// PDLStages and PDLStepPs configure the per-bit compensation lines.
+	PDLStages int
+	PDLStepPs float64
+	// DesignSeed pins the shared bitstream realisation.
+	DesignSeed uint64
+}
+
+// DefaultConfig returns the calibrated 16-bit board model whose measured
+// statistics land in the regime of the paper's two-board experiment
+// (inter-chip 18.8 % raw / 41.3 % obfuscated, intra-chip 18.6 %); see
+// EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Width:         16,
+		RoutingSkewPs: 21,
+		BoardSkewPs:   22,
+		JitterPs:      17,
+		PDLStages:     64,
+		PDLStepPs:     1.6,
+		DesignSeed:    0x46504741 ^ 0x50554641, // "FPGA" ^ "PUFA"
+	}
+}
+
+// NewDesign builds the shared bitstream: an ALU PUF design whose per-gate
+// delays carry the routing skew and whose arbiters see FPGA-grade jitter.
+// LayoutSkewPs is zero — on FPGA the bit-level mismatch is dominated by
+// routing and modelled per-board instead.
+func NewDesign(cfg Config) (*core.Design, error) {
+	return core.NewDesign(core.Config{
+		Width:         cfg.Width,
+		JitterPs:      cfg.JitterPs,
+		LayoutSkewPs:  0,
+		RoutingSkewPs: cfg.RoutingSkewPs,
+		DesignSeed:    cfg.DesignSeed,
+	})
+}
+
+// Board is one physical FPGA board: a device instance plus its board-level
+// skew and the per-bit PDL compensation pairs.
+type Board struct {
+	cfg       Config
+	dev       *core.Device
+	boardSkew []float64
+	// pdl0/pdl1 delay the ALU0/ALU1 arbiter inputs of each bit; the
+	// differential setting compensates the total skew.
+	pdl0, pdl1 []*PDL
+}
+
+// NewBoard programs board id with the design and realises its private
+// process variation, board skew, and PDL instances.
+func NewBoard(design *core.Design, master *rng.Source, id int, cfg Config) (*Board, error) {
+	if design.Config().Width != cfg.Width {
+		return nil, fmt.Errorf("fpga: design width %d does not match config width %d",
+			design.Config().Width, cfg.Width)
+	}
+	dev, err := core.NewDevice(design, master, id)
+	if err != nil {
+		return nil, err
+	}
+	bits := design.ResponseBits()
+	b := &Board{
+		cfg:       cfg,
+		dev:       dev,
+		boardSkew: make([]float64, bits),
+		pdl0:      make([]*PDL, bits),
+		pdl1:      make([]*PDL, bits),
+	}
+	skewSrc := master.SubN("fpga/board-skew", id)
+	pdlSrc := master.SubN("fpga/pdl", id)
+	for i := 0; i < bits; i++ {
+		b.boardSkew[i] = skewSrc.NormMS(0, cfg.BoardSkewPs)
+		b.pdl0[i] = NewPDL(cfg.PDLStages, cfg.PDLStepPs, pdlSrc)
+		b.pdl1[i] = NewPDL(cfg.PDLStages, cfg.PDLStepPs, pdlSrc)
+		// Start mid-range so calibration can move both directions.
+		b.pdl0[i].SetSetting(cfg.PDLStages / 2)
+		b.pdl1[i].SetSetting(cfg.PDLStages / 2)
+	}
+	b.applySkew()
+	return b, nil
+}
+
+// MustNewBoard is NewBoard that panics on error.
+func MustNewBoard(design *core.Design, master *rng.Source, id int, cfg Config) *Board {
+	b, err := NewBoard(design, master, id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Device exposes the underlying PUF device (for measurement campaigns).
+func (b *Board) Device() *core.Device { return b.dev }
+
+// applySkew pushes the net per-bit skew (board mismatch + PDL differential)
+// into the device.
+func (b *Board) applySkew() {
+	bits := len(b.boardSkew)
+	skew := make([]float64, bits)
+	for i := 0; i < bits; i++ {
+		skew[i] = b.boardSkew[i] + b.pdl1[i].DelayPs() - b.pdl0[i].DelayPs()
+	}
+	b.dev.SetExtraSkewPs(skew)
+}
+
+// BitBias measures, per response bit, the fraction of ones over n random
+// challenges (the calibration observable).
+func (b *Board) BitBias(n int, src *rng.Source) []float64 {
+	bits := b.dev.Design().ResponseBits()
+	ones := make([]float64, bits)
+	for k := 0; k < n; k++ {
+		r := b.dev.RawResponse(b.dev.Design().ExpandChallenge(src.Uint64(), 0))
+		for i, bit := range r {
+			ones[i] += float64(bit)
+		}
+	}
+	for i := range ones {
+		ones[i] /= float64(n)
+	}
+	return ones
+}
+
+// CalibrationReport summarises one Calibrate run.
+type CalibrationReport struct {
+	Iterations   int
+	InitialBias  []float64
+	FinalBias    []float64
+	MaxResidual  float64 // max |bias-0.5| after calibration
+	MeanResidual float64
+}
+
+// Calibrate tunes the PDL pairs so each arbiter produces 0 and 1 about
+// equally often over random challenges, per the procedure of Majzoobi et
+// al.: measure per-bit bias, nudge the corresponding delay line, repeat.
+// A response bit is 1 when ALU 0 wins, so excess ones mean the ALU1 path
+// (plus skew) is too slow: delay ALU 0 or undelay ALU 1.
+func (b *Board) Calibrate(iterations, challengesPerIter int, src *rng.Source) CalibrationReport {
+	report := CalibrationReport{Iterations: iterations}
+	report.InitialBias = b.BitBias(challengesPerIter, src.Sub("init"))
+	for it := 0; it < iterations; it++ {
+		bias := b.BitBias(challengesPerIter, src.SubN("iter", it))
+		for i, p := range bias {
+			dev := p - 0.5
+			step := int(dev * 20)
+			if step == 0 {
+				continue
+			}
+			// Too many ones → ALU0 arriving too early → enable more ALU0
+			// delay stages; prefer the line with headroom.
+			if step > 0 {
+				if b.pdl0[i].Setting() < b.pdl0[i].Stages() {
+					b.pdl0[i].Adjust(step)
+				} else {
+					b.pdl1[i].Adjust(-step)
+				}
+			} else {
+				if b.pdl1[i].Setting() < b.pdl1[i].Stages() {
+					b.pdl1[i].Adjust(-step)
+				} else {
+					b.pdl0[i].Adjust(step)
+				}
+			}
+		}
+		b.applySkew()
+	}
+	report.FinalBias = b.BitBias(challengesPerIter, src.Sub("final"))
+	for _, p := range report.FinalBias {
+		d := p - 0.5
+		if d < 0 {
+			d = -d
+		}
+		if d > report.MaxResidual {
+			report.MaxResidual = d
+		}
+		report.MeanResidual += d
+	}
+	report.MeanResidual /= float64(len(report.FinalBias))
+	return report
+}

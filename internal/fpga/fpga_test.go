@@ -1,0 +1,231 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pufatt/internal/ecc"
+	"pufatt/internal/rng"
+	"pufatt/internal/stats"
+)
+
+func TestPDLBasics(t *testing.T) {
+	p := NewPDL(64, 1.6, rng.New(1))
+	if p.Stages() != 64 {
+		t.Fatalf("stages = %d", p.Stages())
+	}
+	if p.Setting() != 0 || p.DelayPs() != 0 {
+		t.Error("fresh PDL should contribute no delay")
+	}
+	p.SetSetting(10)
+	d10 := p.DelayPs()
+	if d10 <= 0 {
+		t.Error("10 stages contribute no delay")
+	}
+	p.SetSetting(64)
+	if p.DelayPs() != p.MaxDelayPs() {
+		t.Error("full setting != MaxDelayPs")
+	}
+	if p.MaxDelayPs() <= d10 {
+		t.Error("delay not increasing with stages")
+	}
+	// Clamping.
+	p.SetSetting(-5)
+	if p.Setting() != 0 {
+		t.Error("negative setting not clamped")
+	}
+	p.Adjust(1000)
+	if p.Setting() != 64 {
+		t.Error("overflow setting not clamped")
+	}
+}
+
+func TestPDLStageVariation(t *testing.T) {
+	p := NewPDL(64, 1.6, rng.New(2))
+	q := NewPDL(64, 1.6, rng.New(3))
+	if p.MaxDelayPs() == q.MaxDelayPs() {
+		t.Error("two PDLs have identical total delay; stage variation missing")
+	}
+	// Mean step should be near nominal.
+	mean := p.MaxDelayPs() / 64
+	if math.Abs(mean-1.6) > 0.25 {
+		t.Errorf("mean stage delay %v, want ~1.6", mean)
+	}
+}
+
+func TestPDLPanicsOnBadStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 stages")
+		}
+	}()
+	NewPDL(0, 1, rng.New(1))
+}
+
+func TestBoardConstruction(t *testing.T) {
+	cfg := DefaultConfig()
+	design, err := NewDesign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustNewBoard(design, rng.New(5), 0, cfg)
+	if b.Device().ExtraSkewPs() == nil {
+		t.Error("board did not install extra skew")
+	}
+	badCfg := cfg
+	badCfg.Width = 32
+	if _, err := NewBoard(design, rng.New(5), 0, badCfg); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestCalibrationReducesBias(t *testing.T) {
+	cfg := DefaultConfig()
+	design, _ := NewDesign(cfg)
+	b := MustNewBoard(design, rng.New(6), 0, cfg)
+	rep := b.Calibrate(12, 300, rng.New(7))
+	var before, after float64
+	for i := range rep.InitialBias {
+		before += math.Abs(rep.InitialBias[i] - 0.5)
+		after += math.Abs(rep.FinalBias[i] - 0.5)
+	}
+	before /= float64(len(rep.InitialBias))
+	after /= float64(len(rep.FinalBias))
+	if after >= before {
+		t.Errorf("calibration did not reduce mean |bias-0.5|: %.3f -> %.3f", before, after)
+	}
+	if rep.MeanResidual > 0.2 {
+		t.Errorf("mean residual bias %.3f too large after calibration", rep.MeanResidual)
+	}
+}
+
+func TestCalibratedBoardsMatchPaperRegime(t *testing.T) {
+	// The §4.1 FPGA measurement: two boards, PDL-calibrated, 16-bit PUF.
+	// Paper: inter-chip 3.0 bits raw, intra-chip 2.9 bits. Accept ±1.2
+	// bits (simulation vs two physical boards).
+	cfg := DefaultConfig()
+	design, _ := NewDesign(cfg)
+	master := rng.New(42)
+	b0 := MustNewBoard(design, master, 0, cfg)
+	b1 := MustNewBoard(design, master, 1, cfg)
+	cal := rng.New(7)
+	b0.Calibrate(12, 300, cal.Sub("b0"))
+	b1.Calibrate(12, 300, cal.Sub("b1"))
+	src := rng.New(9)
+	var inter, intra stats.Summary
+	for k := 0; k < 1200; k++ {
+		ch := design.ExpandChallenge(src.Uint64(), 0)
+		r0 := b0.Device().RawResponseCopy(ch)
+		r1 := b1.Device().RawResponseCopy(ch)
+		inter.Add(float64(stats.HammingDistance(r0, r1)))
+		intra.Add(float64(stats.HammingDistance(r0, b0.Device().RawResponse(ch))))
+	}
+	if math.Abs(inter.Mean()-3.0) > 1.2 {
+		t.Errorf("FPGA inter-chip HD %.2f bits, paper 3.0", inter.Mean())
+	}
+	if math.Abs(intra.Mean()-2.9) > 1.2 {
+		t.Errorf("FPGA intra-chip HD %.2f bits, paper 2.9", intra.Mean())
+	}
+}
+
+func TestResourceEstimates(t *testing.T) {
+	alu := EstimateALUPUF(16)
+	if alu.XORs != 32 {
+		t.Errorf("ALU PUF XORs = %d, want 32 (2 ALUs x 16 FAs)", alu.XORs)
+	}
+	if alu.Registers != 80 {
+		t.Errorf("ALU PUF registers = %d, want 80", alu.Registers)
+	}
+	if alu.LUTs < 70 || alu.LUTs > 120 {
+		t.Errorf("ALU PUF LUTs = %d, outside the paper's regime (94)", alu.LUTs)
+	}
+	if obf := EstimateObfuscation(32); obf.LUTs != 224 {
+		t.Errorf("obfuscation LUTs = %d, want 224 (the paper's figure)", obf.LUTs)
+	}
+	if pdl := EstimatePDL(16, 64); pdl.LUTs != 4096 || pdl.Registers != 128 {
+		t.Errorf("PDL = %+v, want 4096 LUTs / 128 regs", pdl)
+	}
+	if sync := EstimateSyncLogic(); sync.LUTs != 9 || sync.Registers != 7 {
+		t.Errorf("sync logic = %+v", sync)
+	}
+}
+
+func TestSyndromeGeneratorEstimate(t *testing.T) {
+	r := EstimateSyndromeGenerator(ecc.NewReedMuller15())
+	// 26 parity rows with weight ~16: roughly 26×3 LUTs plus registers.
+	if r.LUTs < 26 || r.LUTs > 300 {
+		t.Errorf("syndrome generator LUTs = %d, implausible for a parallel tree", r.LUTs)
+	}
+	if r.Registers != 32+26 {
+		t.Errorf("syndrome generator registers = %d, want 58", r.Registers)
+	}
+}
+
+func TestTable1ShapePreserved(t *testing.T) {
+	rows, err := Table1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	byName := map[string]ComponentRow{}
+	for _, r := range rows {
+		byName[r.Component] = r
+		if r.Paper.LUTs == 0 && r.Component != "Synchronization logic" {
+			if r.Component == "Synchronization logic" {
+				continue
+			}
+		}
+	}
+	// The ordering claims of Table 1 that must survive our estimation:
+	// PDL and SIRC dwarf everything; the ALU PUF itself is tiny; sync is
+	// the smallest.
+	if byName["PDL logic"].Estimate.LUTs <= byName["ALU PUF"].Estimate.LUTs*10 {
+		t.Error("PDL should dwarf the ALU PUF")
+	}
+	if byName["ALU PUF"].Estimate.LUTs <= byName["Synchronization logic"].Estimate.LUTs {
+		t.Error("ALU PUF should exceed the sync logic")
+	}
+	if byName["Obfuscation logic"].Estimate.LUTs <= byName["ALU PUF"].Estimate.LUTs {
+		t.Error("obfuscation network should exceed the bare ALU PUF")
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "ALU PUF") || !strings.Contains(out, "4096") {
+		t.Errorf("formatted table missing content:\n%s", out)
+	}
+	if _, err := Table1(20); err == nil {
+		t.Error("unsupported width accepted")
+	}
+}
+
+func TestSIRCChannel(t *testing.T) {
+	cfg := DefaultConfig()
+	design, _ := NewDesign(cfg)
+	b := MustNewBoard(design, rng.New(11), 0, cfg)
+	ch := NewChannel(b, 125e6)
+	seeds, resps, err := ch.CollectCRPs(100, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 100 || len(resps) != 100 {
+		t.Fatalf("collected %d/%d", len(seeds), len(resps))
+	}
+	if len(resps[0]) != 16 {
+		t.Errorf("response width %d", len(resps[0]))
+	}
+	wantBytes := uint64(100 * (8 + 2))
+	if ch.Transferred() != wantBytes {
+		t.Errorf("transferred %d bytes, want %d", ch.Transferred(), wantBytes)
+	}
+	if ch.TransferSeconds() <= 0 {
+		t.Error("no transfer time accounted")
+	}
+	if _, _, err := ch.CollectCRPs(0, rng.New(1)); err == nil {
+		t.Error("zero-count collection accepted")
+	}
+	if !strings.Contains(ch.Describe(), "SIRC") {
+		t.Error("Describe missing")
+	}
+}

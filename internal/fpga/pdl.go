@@ -1,0 +1,77 @@
+// Package fpga models the paper's FPGA prototype artifacts (Section 4.1,
+// "Implementation"): the Virtex-5 boards the 16-bit ALU PUF was measured
+// on, the 64-stage programmable delay lines (PDLs) used to compensate
+// routing skew, the calibration procedure of Majzoobi et al. [20], a
+// resource estimator reproducing Table 1, and a SIRC-like host↔fabric
+// data-collection channel [5].
+package fpga
+
+import (
+	"fmt"
+
+	"pufatt/internal/rng"
+)
+
+// PDL is one programmable delay line: a chain of LUT-based stages, each
+// adding a small increment when enabled. Per-stage increments carry their
+// own process variation, so two "identical" PDLs are not identical — which
+// is why calibration iterates on measured bias rather than dead reckoning.
+type PDL struct {
+	stepPs  []float64
+	setting int
+}
+
+// NewPDL builds a delay line with the given number of stages and a nominal
+// per-stage step; actual steps vary ±15 % around nominal, drawn from src.
+func NewPDL(stages int, nominalStepPs float64, src *rng.Source) *PDL {
+	if stages < 1 {
+		panic(fmt.Sprintf("fpga: PDL with %d stages", stages))
+	}
+	p := &PDL{stepPs: make([]float64, stages)}
+	for i := range p.stepPs {
+		step := src.NormMS(nominalStepPs, 0.15*nominalStepPs)
+		if step < 0.1*nominalStepPs {
+			step = 0.1 * nominalStepPs
+		}
+		p.stepPs[i] = step
+	}
+	return p
+}
+
+// Stages returns the number of stages.
+func (p *PDL) Stages() int { return len(p.stepPs) }
+
+// Setting returns the number of currently enabled stages.
+func (p *PDL) Setting() int { return p.setting }
+
+// SetSetting enables the first n stages, clamping n into [0, Stages].
+func (p *PDL) SetSetting(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(p.stepPs) {
+		n = len(p.stepPs)
+	}
+	p.setting = n
+}
+
+// Adjust shifts the setting by delta stages (clamped).
+func (p *PDL) Adjust(delta int) { p.SetSetting(p.setting + delta) }
+
+// DelayPs returns the delay contributed at the current setting.
+func (p *PDL) DelayPs() float64 {
+	var d float64
+	for _, s := range p.stepPs[:p.setting] {
+		d += s
+	}
+	return d
+}
+
+// MaxDelayPs returns the delay with all stages enabled.
+func (p *PDL) MaxDelayPs() float64 {
+	var d float64
+	for _, s := range p.stepPs {
+		d += s
+	}
+	return d
+}

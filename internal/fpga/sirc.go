@@ -1,0 +1,64 @@
+package fpga
+
+import (
+	"errors"
+	"fmt"
+
+	"pufatt/internal/rng"
+)
+
+// Channel is a SIRC-like host↔fabric interface (Eguro, FCCM 2010): the host
+// writes challenge batches into the input buffer, strobes a run register,
+// and reads responses back, with transfer-time accounting so collection
+// campaigns can be budgeted. It is the data-collection path of the paper's
+// prototype, not part of the fielded design.
+type Channel struct {
+	board *Board
+	// BytesPerSecond models the host link (SIRC over gigabit ethernet).
+	BytesPerSecond float64
+	// transferred accounts total bytes moved.
+	transferred uint64
+}
+
+// NewChannel attaches a collection channel to a board.
+func NewChannel(board *Board, bytesPerSecond float64) *Channel {
+	return &Channel{board: board, BytesPerSecond: bytesPerSecond}
+}
+
+// Transferred returns the total bytes moved over the channel.
+func (c *Channel) Transferred() uint64 { return c.transferred }
+
+// TransferSeconds returns the time spent on the channel so far.
+func (c *Channel) TransferSeconds() float64 {
+	if c.BytesPerSecond <= 0 {
+		return 0
+	}
+	return float64(c.transferred) / c.BytesPerSecond
+}
+
+// CollectCRPs runs a measurement campaign: n random challenge seeds are
+// written to the fabric, each expanded and applied, and the raw responses
+// read back. Returns the challenges used and the responses.
+func (c *Channel) CollectCRPs(n int, src *rng.Source) (seeds []uint64, responses [][]uint8, err error) {
+	if n <= 0 {
+		return nil, nil, errors.New("fpga: non-positive CRP count")
+	}
+	dev := c.board.Device()
+	width := dev.Design().Config().Width
+	seeds = make([]uint64, n)
+	responses = make([][]uint8, n)
+	for k := 0; k < n; k++ {
+		seeds[k] = src.Uint64()
+		ch := dev.Design().ExpandChallenge(seeds[k], 0)
+		responses[k] = dev.RawResponseCopy(ch)
+		// Host → fabric: 8-byte seed; fabric → host: packed response.
+		c.transferred += 8 + uint64((width+7)/8)
+	}
+	return seeds, responses, nil
+}
+
+// Describe summarises the channel state for logs.
+func (c *Channel) Describe() string {
+	return fmt.Sprintf("SIRC channel: %d bytes moved, %.3fs at %.0f MB/s",
+		c.transferred, c.TransferSeconds(), c.BytesPerSecond/1e6)
+}

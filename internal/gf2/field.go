@@ -1,0 +1,170 @@
+// Package gf2 implements arithmetic over binary Galois fields GF(2^m) and
+// polynomials over GF(2) — the algebraic substrate for the BCH error
+// correction used in the PUFatt helper-data scheme.
+package gf2
+
+import "fmt"
+
+// defaultPrimitive maps field degree m to a primitive polynomial, given as a
+// bitmask including the x^m term (e.g. 0b1011 = x^3 + x + 1).
+var defaultPrimitive = map[int]uint32{
+	2:  0b111,
+	3:  0b1011,
+	4:  0b10011,
+	5:  0b100101,
+	6:  0b1000011,
+	7:  0b10001001,
+	8:  0b100011101,
+	9:  0b1000010001,
+	10: 0b10000001001,
+}
+
+// Field is GF(2^m) represented with exp/log tables over a primitive element
+// α. Elements are integers in [0, 2^m).
+type Field struct {
+	M    int    // extension degree
+	Size int    // 2^m
+	Poly uint32 // primitive polynomial bitmask
+	exp  []int  // exp[i] = α^i, length 2*(Size-1) to avoid mod in Mul
+	log  []int  // log[α^i] = i; log[0] unused
+}
+
+// NewField constructs GF(2^m) for 2 <= m <= 10 using a standard primitive
+// polynomial.
+func NewField(m int) (*Field, error) {
+	poly, ok := defaultPrimitive[m]
+	if !ok {
+		return nil, fmt.Errorf("gf2: no primitive polynomial for m=%d (supported 2..10)", m)
+	}
+	f := &Field{M: m, Size: 1 << uint(m), Poly: poly}
+	n := f.Size - 1
+	f.exp = make([]int, 2*n)
+	f.log = make([]int, f.Size)
+	x := 1
+	for i := 0; i < n; i++ {
+		f.exp[i] = x
+		f.exp[i+n] = x
+		f.log[x] = i
+		x <<= 1
+		if x&f.Size != 0 {
+			x ^= int(poly)
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gf2: polynomial %#b is not primitive for m=%d", poly, m)
+	}
+	return f, nil
+}
+
+// MustField is NewField that panics on error.
+func MustField(m int) *Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// N returns the multiplicative order 2^m − 1.
+func (f *Field) N() int { return f.Size - 1 }
+
+// Add returns a + b (= a XOR b in characteristic 2).
+func (f *Field) Add(a, b int) int { return a ^ b }
+
+// Mul returns a·b.
+func (f *Field) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns a^(−1). It panics on a = 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	return f.exp[f.N()-f.log[a]]
+}
+
+// Div returns a / b. It panics on b = 0.
+func (f *Field) Div(a, b int) int {
+	if b == 0 {
+		panic("gf2: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[(f.log[a]-f.log[b]+f.N())%f.N()]
+}
+
+// Exp returns α^i for any integer i.
+func (f *Field) Exp(i int) int {
+	n := f.N()
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete log of a to base α. It panics on a = 0.
+func (f *Field) Log(a int) int {
+	if a == 0 {
+		panic("gf2: log of zero")
+	}
+	return f.log[a]
+}
+
+// Pow returns a^e (e >= 0; a^0 = 1, 0^e = 0 for e > 0).
+func (f *Field) Pow(a, e int) int {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.Exp(f.log[a] % f.N() * (e % f.N()) % f.N())
+}
+
+// CyclotomicCoset returns the 2-cyclotomic coset of i modulo 2^m − 1, in
+// increasing order of first appearance: {i, 2i, 4i, ...}.
+func (f *Field) CyclotomicCoset(i int) []int {
+	n := f.N()
+	i = ((i % n) + n) % n
+	coset := []int{i}
+	j := 2 * i % n
+	for j != i {
+		coset = append(coset, j)
+		j = 2 * j % n
+	}
+	return coset
+}
+
+// MinimalPolynomial returns the minimal polynomial over GF(2) of α^i, as a
+// Poly. The minimal polynomial is Π (x − α^j) over the cyclotomic coset of
+// i; its coefficients lie in GF(2).
+func (f *Field) MinimalPolynomial(i int) Poly {
+	coset := f.CyclotomicCoset(i)
+	// Build the product in GF(2^m)[x], coefficients as field elements.
+	coeffs := []int{1} // the constant polynomial 1
+	for _, j := range coset {
+		root := f.Exp(j)
+		// Multiply coeffs by (x + root).
+		next := make([]int, len(coeffs)+1)
+		for d, c := range coeffs {
+			next[d+1] ^= c            // x * c x^d
+			next[d] ^= f.Mul(c, root) // root * c x^d
+		}
+		coeffs = next
+	}
+	// Coefficients must be 0/1 if the product really is over GF(2).
+	p := make(Poly, len(coeffs))
+	for d, c := range coeffs {
+		if c != 0 && c != 1 {
+			panic(fmt.Sprintf("gf2: minimal polynomial of α^%d has non-binary coefficient %d", i, c))
+		}
+		p[d] = uint8(c)
+	}
+	return p.norm()
+}

@@ -1,0 +1,253 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 2; m <= 10; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", m, err)
+		}
+		if f.Size != 1<<uint(m) || f.N() != f.Size-1 {
+			t.Errorf("m=%d: size %d, n %d", m, f.Size, f.N())
+		}
+	}
+	if _, err := NewField(1); err == nil {
+		t.Error("NewField(1) should fail")
+	}
+	if _, err := NewField(11); err == nil {
+		t.Error("NewField(11) should fail")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := MustField(5)
+	n := f.Size
+	// Exhaustive over GF(32): associativity, commutativity, distributivity.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("Mul not commutative at (%d,%d)", a, b)
+			}
+			for c := 0; c < n; c += 7 {
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("Mul not associative at (%d,%d,%d)", a, b, c)
+				}
+				if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+					t.Fatalf("not distributive at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldInverses(t *testing.T) {
+	f := MustField(6)
+	for a := 1; a < f.Size; a++ {
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%d", a)
+		}
+		if f.Div(a, a) != 1 {
+			t.Fatalf("a/a ≠ 1 for a=%d", a)
+		}
+	}
+}
+
+func TestFieldZeroHandling(t *testing.T) {
+	f := MustField(4)
+	if f.Mul(0, 7) != 0 || f.Mul(7, 0) != 0 {
+		t.Error("0·a ≠ 0")
+	}
+	if f.Div(0, 5) != 0 {
+		t.Error("0/a ≠ 0")
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Inv(0)", func() { f.Inv(0) })
+	mustPanic("Div(1,0)", func() { f.Div(1, 0) })
+	mustPanic("Log(0)", func() { f.Log(0) })
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := MustField(5)
+	for i := 0; i < f.N(); i++ {
+		if f.Log(f.Exp(i)) != i {
+			t.Fatalf("Log(Exp(%d)) != %d", i, i)
+		}
+	}
+	if f.Exp(-1) != f.Exp(f.N()-1) {
+		t.Error("negative exponent wrap failed")
+	}
+	if f.Exp(f.N()) != 1 {
+		t.Error("Exp(n) != 1")
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustField(5)
+	for a := 0; a < f.Size; a++ {
+		if f.Pow(a, 0) != 1 {
+			t.Fatalf("Pow(%d,0) != 1", a)
+		}
+		if f.Pow(a, 1) != a {
+			t.Fatalf("Pow(%d,1) != %d", a, a)
+		}
+		if a != 0 && f.Pow(a, 2) != f.Mul(a, a) {
+			t.Fatalf("Pow(%d,2) != a·a", a)
+		}
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("Pow(0,5) != 0")
+	}
+}
+
+func TestCyclotomicCosets(t *testing.T) {
+	f := MustField(5) // n = 31
+	c1 := f.CyclotomicCoset(1)
+	if len(c1) != 5 {
+		t.Errorf("coset of 1 has size %d, want 5 (m)", len(c1))
+	}
+	c0 := f.CyclotomicCoset(0)
+	if len(c0) != 1 || c0[0] != 0 {
+		t.Errorf("coset of 0 = %v", c0)
+	}
+	// Cosets of i and 2i coincide as sets.
+	c2 := f.CyclotomicCoset(2)
+	set := map[int]bool{}
+	for _, v := range c1 {
+		set[v] = true
+	}
+	for _, v := range c2 {
+		if !set[v] {
+			t.Errorf("coset(2) element %d not in coset(1)", v)
+		}
+	}
+}
+
+func TestMinimalPolynomialHasRoot(t *testing.T) {
+	f := MustField(5)
+	for i := 1; i <= 10; i++ {
+		mp := f.MinimalPolynomial(i)
+		if mp.EvalAt(f, f.Exp(i)) != 0 {
+			t.Errorf("minimal polynomial of α^%d does not vanish at α^%d", i, i)
+		}
+		if mp.Degree() > f.M {
+			t.Errorf("minimal polynomial of α^%d has degree %d > m", i, mp.Degree())
+		}
+	}
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	p := Poly{1, 1}    // 1 + x
+	q := Poly{1, 0, 1} // 1 + x²  = (1+x)² over GF(2)
+	if !p.Mul(p).Equal(q) {
+		t.Errorf("(1+x)² = %v, want %v", p.Mul(p), q)
+	}
+	if p.Add(p).Degree() != -1 {
+		t.Error("p + p should be zero")
+	}
+	if got := XPow(3).Degree(); got != 3 {
+		t.Errorf("XPow(3) degree = %d", got)
+	}
+}
+
+func TestPolyDivMod(t *testing.T) {
+	f := func(aBits, bBits uint16) bool {
+		a := bitsToPoly(uint64(aBits))
+		b := bitsToPoly(uint64(bBits))
+		if b.IsZero() {
+			return true
+		}
+		q, r := a.DivMod(b)
+		if r.Degree() >= b.Degree() {
+			return false
+		}
+		return q.Mul(b).Add(r).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic dividing by zero polynomial")
+		}
+	}()
+	Poly{1, 1}.DivMod(Poly{})
+}
+
+func TestGCDAndLCM(t *testing.T) {
+	a := Poly{1, 1}    // 1+x
+	b := Poly{1, 1, 1} // 1+x+x²
+	prod := a.Mul(b)   // (1+x)(1+x+x²) = 1+x³
+	if !GCD(prod, a).Equal(a) {
+		t.Errorf("GCD((1+x³),(1+x)) = %v", GCD(prod, a))
+	}
+	l := LCM(a, b)
+	if !l.Equal(prod) {
+		t.Errorf("LCM = %v, want %v", l, prod)
+	}
+	if !LCM(a, a).Equal(a) {
+		t.Error("LCM(a,a) != a")
+	}
+}
+
+func TestGCDDividesBoth(t *testing.T) {
+	f := func(aBits, bBits uint16) bool {
+		a := bitsToPoly(uint64(aBits))
+		b := bitsToPoly(uint64(bBits))
+		g := GCD(a, b)
+		if g.IsZero() {
+			return a.IsZero() && b.IsZero()
+		}
+		return a.Mod(g).IsZero() && b.Mod(g).IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	if got := (Poly{1, 0, 1}).String(); got != "x^2 + 1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Poly{}).String(); got != "0" {
+		t.Errorf("zero String = %q", got)
+	}
+	if got := (Poly{0, 1}).String(); got != "x" {
+		t.Errorf("x String = %q", got)
+	}
+}
+
+func TestEvalAt(t *testing.T) {
+	f := MustField(4)
+	// p(x) = 1 + x: p(α) = 1 ^ α.
+	p := Poly{1, 1}
+	alpha := f.Exp(1)
+	if got := p.EvalAt(f, alpha); got != 1^alpha {
+		t.Errorf("EvalAt = %d, want %d", got, 1^alpha)
+	}
+	if got := (Poly{}).EvalAt(f, alpha); got != 0 {
+		t.Errorf("zero poly eval = %d", got)
+	}
+}
+
+func bitsToPoly(v uint64) Poly {
+	var p Poly
+	for v != 0 {
+		p = append(p, uint8(v&1))
+		v >>= 1
+	}
+	return p
+}

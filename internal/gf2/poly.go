@@ -1,0 +1,175 @@
+package gf2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Poly is a polynomial over GF(2), stored as coefficients in ascending
+// degree order: Poly{1, 0, 1} = 1 + x². The zero polynomial is the empty
+// (or all-zero) slice.
+type Poly []uint8
+
+// norm trims trailing zero coefficients.
+func (p Poly) norm() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or −1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.norm()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.norm()) == 0 }
+
+// Equal reports whether p and q represent the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	a, b := p.norm(), q.norm()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Add returns p + q (coefficient-wise XOR).
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		var a, b uint8
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		r[i] = (a ^ b) & 1
+	}
+	return r.norm()
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	a, b := p.norm(), q.norm()
+	if len(a) == 0 || len(b) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			r[i+j] ^= bj
+		}
+	}
+	return r.norm()
+}
+
+// DivMod returns the quotient and remainder of p / q. It panics if q is
+// zero.
+func (p Poly) DivMod(q Poly) (quot, rem Poly) {
+	d := q.norm()
+	if len(d) == 0 {
+		panic("gf2: polynomial division by zero")
+	}
+	r := p.norm().Clone()
+	dd := len(d) - 1
+	if len(r)-1 < dd {
+		return Poly{}, r
+	}
+	quot = make(Poly, len(r)-dd)
+	for len(r) > 0 && len(r)-1 >= dd {
+		shift := len(r) - 1 - dd
+		quot[shift] = 1
+		for i, c := range d {
+			r[shift+i] ^= c
+		}
+		r = r.norm()
+	}
+	return quot.norm(), r
+}
+
+// Mod returns p modulo q.
+func (p Poly) Mod(q Poly) Poly {
+	_, r := p.DivMod(q)
+	return r
+}
+
+// EvalAt evaluates p at the field element a in GF(2^m) (coefficients 0/1).
+func (p Poly) EvalAt(f *Field, a int) int {
+	// Horner's rule from the top coefficient down.
+	v := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = f.Mul(v, a) ^ int(p[i]&1)
+	}
+	return v
+}
+
+// XPow returns the monomial x^n.
+func XPow(n int) Poly {
+	p := make(Poly, n+1)
+	p[n] = 1
+	return p
+}
+
+// LCM returns the least common multiple of the two polynomials.
+func LCM(a, b Poly) Poly {
+	g := GCD(a, b)
+	if g.IsZero() {
+		return Poly{}
+	}
+	q, _ := a.Mul(b).DivMod(g)
+	return q
+}
+
+// GCD returns the greatest common divisor of the two polynomials (monic by
+// construction over GF(2)).
+func GCD(a, b Poly) Poly {
+	x, y := a.norm(), b.norm()
+	for !y.IsZero() {
+		x, y = y, x.Mod(y)
+	}
+	return x
+}
+
+// String renders the polynomial in conventional x-notation.
+func (p Poly) String() string {
+	q := p.norm()
+	if len(q) == 0 {
+		return "0"
+	}
+	var terms []string
+	for d := len(q) - 1; d >= 0; d-- {
+		if q[d] == 0 {
+			continue
+		}
+		switch d {
+		case 0:
+			terms = append(terms, "1")
+		case 1:
+			terms = append(terms, "x")
+		default:
+			terms = append(terms, fmt.Sprintf("x^%d", d))
+		}
+	}
+	return strings.Join(terms, " + ")
+}

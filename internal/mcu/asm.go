@@ -1,0 +1,354 @@
+package mcu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a memory image plus the symbol
+// table.
+type Program struct {
+	Words   []uint32
+	Symbols map[string]uint32
+}
+
+// Assemble translates assembler source into a memory image. Two passes:
+// the first collects label addresses, the second encodes.
+//
+// Syntax (one statement per line, ';' or '#' start a comment):
+//
+//	label:
+//	    add  rd, rs1, rs2        ; R-format: sub and or xor shl shr ror mul sltu
+//	    addi rd, rs1, imm        ; I-format: andi ori xori shli shri muli
+//	    lui  rd, imm
+//	    ld   rd, rs1, imm        ; rd = mem[rs1+imm]
+//	    st   rd, rs1, imm        ; mem[rs1+imm] = rd
+//	    beq  rs1, rs2, label     ; bne bltu bgeu (relative)
+//	    jmp  label               ; jal rd, label ; jr rs1
+//	    pstart
+//	    pend rd
+//	    halt
+//	    li   rd, imm32           ; pseudo: addi or lui+ori
+//	    mov  rd, rs              ; pseudo: add rd, rs, r0
+//	    nop                      ; pseudo: add r0, r0, r0
+//	    .word value|label        ; literal data word
+//	    .space n                 ; n zero words
+//
+// Immediates are decimal or 0x-hex, optionally negative.
+func Assemble(src string) (*Program, error) {
+	type stmt struct {
+		line   int
+		label  string // set for label-only processing
+		mnem   string
+		args   []string
+		addr   uint32
+		nWords int
+	}
+	var stmts []stmt
+	symbols := make(map[string]uint32)
+	addr := uint32(0)
+
+	// Pass 1: tokenize, assign addresses, collect labels.
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("mcu: line %d: malformed label %q", ln+1, label)
+			}
+			if _, dup := symbols[label]; dup {
+				return nil, fmt.Errorf("mcu: line %d: duplicate label %q", ln+1, label)
+			}
+			symbols[label] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		s := stmt{line: ln + 1, mnem: strings.ToLower(fields[0]), args: fields[1:], addr: addr, nWords: 1}
+		switch s.mnem {
+		case "li":
+			// Worst case two words; decide now for stable addresses.
+			if len(s.args) == 2 {
+				if v, err := parseImm(s.args[1], symbols, false); err == nil && v >= MinImm && v <= MaxImm {
+					s.nWords = 1
+				} else {
+					s.nWords = 2
+				}
+			}
+		case ".space":
+			if len(s.args) != 1 {
+				return nil, fmt.Errorf("mcu: line %d: .space needs a count", s.line)
+			}
+			n, err := strconv.ParseInt(s.args[0], 0, 32)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("mcu: line %d: bad .space count %q", s.line, s.args[0])
+			}
+			s.nWords = int(n)
+		}
+		addr += uint32(s.nWords)
+		stmts = append(stmts, s)
+	}
+
+	// Pass 2: encode.
+	p := &Program{Words: make([]uint32, 0, addr), Symbols: symbols}
+	emit := func(w uint32) { p.Words = append(p.Words, w) }
+	for _, s := range stmts {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("mcu: line %d (%s): %s", s.line, s.mnem, fmt.Sprintf(format, args...))
+		}
+		need := func(n int) error {
+			if len(s.args) != n {
+				return fail("want %d operands, have %d", n, len(s.args))
+			}
+			return nil
+		}
+		switch s.mnem {
+		case "add", "sub", "and", "or", "xor", "shl", "shr", "ror", "mul", "sltu":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			rs1, err2 := parseReg(s.args[1])
+			rs2, err3 := parseReg(s.args[2])
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeR(rOps[s.mnem], rd, rs1, rs2))
+		case "addi", "andi", "ori", "xori", "shli", "shri", "muli", "ld", "st":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			rs1, err2 := parseReg(s.args[1])
+			imm, err3 := parseImm(s.args[2], symbols, false)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, fail("%v", err)
+			}
+			if err := checkImm(s.mnem, imm); err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeI(iOps[s.mnem], rd, rs1, imm))
+		case "lui":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			imm, err2 := parseImm(s.args[1], symbols, true)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeI(OpLui, rd, 0, imm))
+		case "beq", "bne", "bltu", "bgeu":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rs1, err1 := parseReg(s.args[0])
+			rs2, err2 := parseReg(s.args[1])
+			target, err3 := parseImm(s.args[2], symbols, true)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, fail("%v", err)
+			}
+			var off int32
+			if _, isLabel := symbols[s.args[2]]; isLabel {
+				off = target - int32(s.addr) - 1
+			} else {
+				off = target
+			}
+			if off < MinImm || off > MaxImm {
+				return nil, fail("branch offset %d out of range", off)
+			}
+			// Branches carry rs1 in the rd slot and rs2 in the rs1 slot.
+			emit(EncodeI(branchOps[s.mnem], rs1, rs2, off))
+		case "jmp":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			tgt, err := parseImm(s.args[0], symbols, true)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeI(OpJmp, 0, 0, tgt))
+		case "jal":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			tgt, err2 := parseImm(s.args[1], symbols, true)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeI(OpJal, rd, 0, tgt))
+		case "jr":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			rs1, err := parseReg(s.args[0])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeI(OpJr, 0, rs1, 0))
+		case "pstart":
+			if err := need(0); err != nil {
+				return nil, err
+			}
+			emit(EncodeR(OpPstart, 0, 0, 0))
+		case "pend":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			rd, err := parseReg(s.args[0])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeR(OpPend, rd, 0, 0))
+		case "halt":
+			if err := need(0); err != nil {
+				return nil, err
+			}
+			emit(EncodeR(OpHalt, 0, 0, 0))
+		case "nop":
+			if err := need(0); err != nil {
+				return nil, err
+			}
+			emit(EncodeR(OpAdd, 0, 0, 0))
+		case "mov":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			rs, err2 := parseReg(s.args[1])
+			if err := firstErr(err1, err2); err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(EncodeR(OpAdd, rd, rs, 0))
+		case "li":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err1 := parseReg(s.args[0])
+			v, err2 := parseImm(s.args[1], symbols, true)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, fail("%v", err)
+			}
+			if s.nWords == 1 {
+				emit(EncodeI(OpAddi, rd, 0, v))
+			} else {
+				u := uint32(v)
+				emit(EncodeI(OpLui, rd, 0, int32(u>>14)))
+				emit(EncodeI(OpOri, rd, rd, int32(u&0x3fff)))
+			}
+		case ".word":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			v, err := parseImm(s.args[0], symbols, true)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			emit(uint32(v))
+		case ".space":
+			for i := 0; i < s.nWords; i++ {
+				emit(0)
+			}
+		default:
+			return nil, fail("unknown mnemonic")
+		}
+		if len(p.Words) != int(s.addr)+s.nWords {
+			return nil, fail("internal: emitted %d words, expected %d", len(p.Words)-int(s.addr), s.nWords)
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for programs embedded in
+// this repository.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var rOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "shr": OpShr, "ror": OpRor, "mul": OpMul, "sltu": OpSltu,
+}
+
+var iOps = map[string]Op{
+	"addi": OpAddi, "andi": OpAndi, "ori": OpOri, "xori": OpXori,
+	"shli": OpShli, "shri": OpShri, "muli": OpMuli, "ld": OpLd, "st": OpSt,
+}
+
+var branchOps = map[string]Op{
+	"beq": OpBeq, "bne": OpBne, "bltu": OpBltu, "bgeu": OpBgeu,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+// parseImm parses a numeric immediate or a label reference. When wide is
+// true, the full 32-bit range is allowed (for li/.word/lui/jumps); otherwise
+// the value must be representable later via checkImm.
+func parseImm(s string, symbols map[string]uint32, wide bool) (int32, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := symbols[s]; ok {
+		return int32(v), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if wide {
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return 0, fmt.Errorf("immediate %d exceeds 32 bits", v)
+		}
+		return int32(uint32(v)), nil
+	}
+	return int32(v), nil
+}
+
+// checkImm validates immediate ranges per mnemonic: sign-extended ops take
+// [-2^17, 2^17); zero-extended logical ops take [0, 2^18).
+func checkImm(mnem string, imm int32) error {
+	switch mnem {
+	case "andi", "ori", "xori", "shli", "shri":
+		if imm < 0 || imm > immMask {
+			return fmt.Errorf("immediate %d outside [0,%d]", imm, immMask)
+		}
+	default:
+		if imm < MinImm || imm > MaxImm {
+			return fmt.Errorf("immediate %d outside [%d,%d]", imm, MinImm, MaxImm)
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package mcu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Coverage of the small accessors and the NullPort/StubPort behaviour.
+
+func TestNullPort(t *testing.T) {
+	var p NullPort
+	p.Begin() // no-op
+	if _, err := p.Feed(1, 2); err == nil {
+		t.Error("NullPort.Feed should error")
+	}
+	if _, err := p.Finish(); err == nil {
+		t.Error("NullPort.Finish should error")
+	}
+}
+
+func TestStubPortLifecycle(t *testing.T) {
+	s := &StubPort{Votes: 5}
+	s.Begin()
+	for i := 0; i < 8; i++ {
+		extra, err := s.Feed(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if extra != 6 {
+			t.Errorf("stub extra = %d, want votes+1", extra)
+		}
+	}
+	if _, err := s.Feed(1, 2); err == nil {
+		t.Error("ninth feed accepted")
+	}
+	// Finish resets for reuse... first drain the error state.
+	s.Begin()
+	if _, err := s.Finish(); err == nil {
+		t.Error("premature finish accepted")
+	}
+	for i := 0; i < 8; i++ {
+		s.Feed(1, 2) //nolint:errcheck
+	}
+	if z, err := s.Finish(); err != nil || z != 0 {
+		t.Errorf("Finish = (%d, %v)", z, err)
+	}
+}
+
+func TestCPUAccessors(t *testing.T) {
+	p := MustAssemble("pstart\nhalt")
+	c := New(p.Words, 1e6, &StubPort{Votes: 1})
+	if c.Halted() || c.InPUFMode() {
+		t.Error("fresh CPU state wrong")
+	}
+	c.Step()
+	if !c.InPUFMode() {
+		t.Error("pstart did not enter PUF mode")
+	}
+	c.Step()
+	if !c.Halted() {
+		t.Error("halt did not halt")
+	}
+	// Stepping a halted CPU is a no-op.
+	if c.Step() {
+		t.Error("halted CPU stepped")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{PC: 7, Reason: "boom"}
+	if !strings.Contains(f.Error(), "pc=7") || !strings.Contains(f.Error(), "boom") {
+		t.Errorf("Fault.Error = %q", f.Error())
+	}
+	var err error = f
+	var asFault *Fault
+	if !errors.As(err, &asFault) {
+		t.Error("Fault not usable with errors.As")
+	}
+}
+
+func TestReadsRegAllFormats(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		r    int
+		want bool
+	}{
+		{EncodeR(OpAdd, 1, 2, 3), 2, true},
+		{EncodeR(OpAdd, 1, 2, 3), 3, true},
+		{EncodeR(OpAdd, 1, 2, 3), 1, false}, // rd is written, not read
+		{EncodeI(OpAddi, 1, 2, 5), 2, true},
+		{EncodeI(OpAddi, 1, 2, 5), 1, false},
+		{EncodeI(OpLd, 1, 2, 0), 2, true},
+		{EncodeI(OpSt, 1, 2, 0), 1, true}, // store data
+		{EncodeI(OpSt, 1, 2, 0), 2, true}, // address base
+		{EncodeI(OpBeq, 1, 2, 0), 1, true},
+		{EncodeI(OpBeq, 1, 2, 0), 2, true},
+		{EncodeI(OpJr, 0, 5, 0), 5, true},
+		{EncodeI(OpJmp, 0, 0, 9), 5, false},
+		{EncodeI(OpLui, 1, 0, 9), 1, false},
+	}
+	c := New(nil, 1e6, nil)
+	for _, tc := range cases {
+		if got := c.readsReg(Decode(tc.w), tc.r); got != tc.want {
+			t.Errorf("readsReg(%s, r%d) = %v, want %v", Disassemble(tc.w), tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestDevicePortDeviceAccessor(t *testing.T) {
+	dev := pufDevice(t)
+	port := MustNewDevicePort(dev)
+	if port.Device() != dev {
+		t.Error("Device accessor wrong")
+	}
+}

@@ -1,0 +1,308 @@
+package mcu
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// PUFPort is the hardware PUF post-processing block the pstart/pend
+// instructions talk to. Implementations: DevicePort (backed by the
+// simulated ALU PUF) and NullPort (a CPU without the extension).
+type PUFPort interface {
+	// Begin resets the port for a new PUF() invocation (pstart).
+	Begin()
+	// Feed races the ALUs with one operand pair (the add instruction in
+	// PUF mode). It returns the extra cycles the query occupies beyond the
+	// plain add.
+	Feed(a, b uint32) (extraCycles uint64, err error)
+	// Finish returns the obfuscated output z (pend) once exactly
+	// obfuscate.ResponsesPerOutput pairs have been fed.
+	Finish() (z uint32, err error)
+}
+
+// NullPort rejects PUF-mode operation; a CPU with a NullPort models a
+// commodity processor without the PUFatt extension.
+type NullPort struct{}
+
+// Begin implements PUFPort.
+func (NullPort) Begin() {}
+
+// Feed implements PUFPort.
+func (NullPort) Feed(a, b uint32) (uint64, error) {
+	return 0, errors.New("mcu: this CPU has no PUF datapath")
+}
+
+// Finish implements PUFPort.
+func (NullPort) Finish() (uint32, error) {
+	return 0, errors.New("mcu: this CPU has no PUF datapath")
+}
+
+// Fault describes a CPU execution fault; the CPU stops at the faulting
+// instruction.
+type Fault struct {
+	PC     uint32
+	Reason string
+}
+
+// Error implements error.
+func (f *Fault) Error() string { return fmt.Sprintf("mcu: fault at pc=%d: %s", f.PC, f.Reason) }
+
+// CPU is the cycle-accurate prover processor: 16 32-bit registers (r0 is
+// hardwired to zero), a unified word-addressed memory (the attestation
+// checksum hashes its own program memory), and the PUF-mode extension.
+type CPU struct {
+	Regs [16]uint32
+	PC   uint32
+	Mem  []uint32
+	// FreqHz is the core clock; Time() = Cycles/FreqHz. The clock also
+	// reaches the PUF datapath — overclocking shortens the race window
+	// (configured on the DevicePort).
+	FreqHz float64
+	Cycles uint64
+	Port   PUFPort
+
+	// Pipelined switches the timing model to a classic 5-stage in-order
+	// pipeline: CPI 1 with a one-cycle load-use interlock, a two-cycle
+	// flush on taken branches and jumps, and a multi-cycle EX for MUL.
+	// (The paper notes that in generic pipelined architectures the memory
+	// stage is the critical path — here it is the stage whose hazard
+	// dominates the stall count.) Functional behaviour is identical; only
+	// cycle accounting changes.
+	Pipelined bool
+
+	pufMode bool
+	halted  bool
+	fault   *Fault
+	// lastLoadRd tracks the destination of the immediately preceding load
+	// for the load-use interlock (-1 when the previous instruction was not
+	// a load).
+	lastLoadRd int
+}
+
+// New returns a CPU with the given memory image (shared, not copied), clock
+// frequency, and PUF port (nil → NullPort).
+func New(mem []uint32, freqHz float64, port PUFPort) *CPU {
+	if port == nil {
+		port = NullPort{}
+	}
+	return &CPU{Mem: mem, FreqHz: freqHz, Port: port, lastLoadRd: -1}
+}
+
+// Halted reports whether the CPU has executed halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Faulted returns the fault that stopped the CPU, or nil.
+func (c *CPU) Faulted() error {
+	if c.fault == nil {
+		return nil
+	}
+	return c.fault
+}
+
+// InPUFMode reports whether the CPU is between pstart and pend.
+func (c *CPU) InPUFMode() bool { return c.pufMode }
+
+// TimeSeconds returns elapsed wall-clock time at the configured frequency.
+func (c *CPU) TimeSeconds() float64 { return float64(c.Cycles) / c.FreqHz }
+
+func (c *CPU) setFault(reason string) {
+	c.fault = &Fault{PC: c.PC, Reason: reason}
+}
+
+// Step executes one instruction. It returns false when the CPU can no
+// longer advance (halted or faulted).
+func (c *CPU) Step() bool {
+	if c.halted || c.fault != nil {
+		return false
+	}
+	if int(c.PC) >= len(c.Mem) {
+		c.setFault("program counter outside memory")
+		return false
+	}
+	d := Decode(c.Mem[c.PC])
+	var cost uint64
+	if c.Pipelined {
+		cost = c.pipelineCost(d)
+	} else {
+		cost = CycleCost(d.Op)
+	}
+	next := c.PC + 1
+	switch d.Op {
+	case OpHalt:
+		c.halted = true
+	case OpAdd:
+		sum := c.Regs[d.Rs1] + c.Regs[d.Rs2]
+		if c.pufMode {
+			extra, err := c.Port.Feed(c.Regs[d.Rs1], c.Regs[d.Rs2])
+			if err != nil {
+				c.setFault("puf feed: " + err.Error())
+				return false
+			}
+			cost += extra
+		}
+		c.Regs[d.Rd] = sum
+	case OpSub:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] - c.Regs[d.Rs2]
+	case OpAnd:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] & c.Regs[d.Rs2]
+	case OpOr:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] | c.Regs[d.Rs2]
+	case OpXor:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] ^ c.Regs[d.Rs2]
+	case OpShl:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] << (c.Regs[d.Rs2] & 31)
+	case OpShr:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] >> (c.Regs[d.Rs2] & 31)
+	case OpRor:
+		c.Regs[d.Rd] = bits.RotateLeft32(c.Regs[d.Rs1], -int(c.Regs[d.Rs2]&31))
+	case OpMul:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] * c.Regs[d.Rs2]
+	case OpSltu:
+		if c.Regs[d.Rs1] < c.Regs[d.Rs2] {
+			c.Regs[d.Rd] = 1
+		} else {
+			c.Regs[d.Rd] = 0
+		}
+	case OpAddi:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] + uint32(d.Imm)
+	case OpAndi:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] & d.UImm()
+	case OpOri:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] | d.UImm()
+	case OpXori:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] ^ d.UImm()
+	case OpShli:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] << (d.UImm() & 31)
+	case OpShri:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] >> (d.UImm() & 31)
+	case OpMuli:
+		c.Regs[d.Rd] = c.Regs[d.Rs1] * uint32(d.Imm)
+	case OpLui:
+		c.Regs[d.Rd] = d.UImm() << 14
+	case OpLd:
+		addr := c.Regs[d.Rs1] + uint32(d.Imm)
+		if int(addr) >= len(c.Mem) {
+			c.setFault(fmt.Sprintf("load from %d outside memory", addr))
+			return false
+		}
+		c.Regs[d.Rd] = c.Mem[addr]
+	case OpSt:
+		addr := c.Regs[d.Rs1] + uint32(d.Imm)
+		if int(addr) >= len(c.Mem) {
+			c.setFault(fmt.Sprintf("store to %d outside memory", addr))
+			return false
+		}
+		c.Mem[addr] = c.Regs[d.Rd]
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		a, b := c.Regs[d.Rd], c.Regs[d.Rs1] // branches use rd/rs1 slots
+		taken := false
+		switch d.Op {
+		case OpBeq:
+			taken = a == b
+		case OpBne:
+			taken = a != b
+		case OpBltu:
+			taken = a < b
+		case OpBgeu:
+			taken = a >= b
+		}
+		if taken {
+			next = uint32(int64(c.PC) + 1 + int64(d.Imm))
+			if c.Pipelined {
+				cost += 2 // flush the fetched wrong-path instructions
+			} else {
+				cost++
+			}
+		}
+	case OpJmp:
+		next = d.UImm()
+	case OpJal:
+		c.Regs[d.Rd] = c.PC + 1
+		next = d.UImm()
+	case OpJr:
+		next = c.Regs[d.Rs1]
+	case OpPstart:
+		if c.pufMode {
+			c.setFault("pstart while already in PUF mode")
+			return false
+		}
+		c.pufMode = true
+		c.Port.Begin()
+	case OpPend:
+		if !c.pufMode {
+			c.setFault("pend outside PUF mode")
+			return false
+		}
+		z, err := c.Port.Finish()
+		if err != nil {
+			c.setFault("puf finish: " + err.Error())
+			return false
+		}
+		c.Regs[d.Rd] = z
+		c.pufMode = false
+		cost++ // the post-processing handoff
+	default:
+		c.setFault("illegal opcode " + d.Op.String())
+		return false
+	}
+	c.Regs[0] = 0 // r0 is hardwired zero
+	if d.Op == OpLd {
+		c.lastLoadRd = d.Rd
+	} else {
+		c.lastLoadRd = -1
+	}
+	c.Cycles += cost
+	c.PC = next
+	return !c.halted
+}
+
+// pipelineCost returns the issue cost of an instruction under the 5-stage
+// model, excluding the taken-branch flush (added at resolution) and the
+// PUF-port surcharge (added by the port).
+func (c *CPU) pipelineCost(d Decoded) uint64 {
+	cost := uint64(1)
+	switch d.Op {
+	case OpMul, OpMuli:
+		cost += 2 // multi-cycle EX
+	case OpJmp, OpJal, OpJr:
+		cost += 2 // unconditional redirect flushes two slots
+	}
+	if c.lastLoadRd > 0 && c.readsReg(d, c.lastLoadRd) {
+		cost++ // load-use interlock: one bubble
+	}
+	return cost
+}
+
+// readsReg reports whether the instruction reads register r in its source
+// operand slots (format-dependent).
+func (c *CPU) readsReg(d Decoded, r int) bool {
+	switch d.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpRor, OpMul, OpSltu:
+		return d.Rs1 == r || d.Rs2 == r
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpMuli, OpLd:
+		return d.Rs1 == r
+	case OpSt:
+		return d.Rs1 == r || d.Rd == r // address base and store data
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return d.Rd == r || d.Rs1 == r // branches compare rd/rs1 slots
+	case OpJr:
+		return d.Rs1 == r
+	default:
+		return false
+	}
+}
+
+// Run executes until halt, fault, or the cycle budget is exhausted. It
+// returns an error for faults and budget exhaustion, nil on a clean halt.
+func (c *CPU) Run(maxCycles uint64) error {
+	for c.Step() {
+		if c.Cycles > maxCycles {
+			return fmt.Errorf("mcu: cycle budget %d exhausted at pc=%d", maxCycles, c.PC)
+		}
+	}
+	if c.fault != nil {
+		return c.fault
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package mcu implements the embedded prover substrate of PUFatt: a small
+// 32-bit load/store CPU with a cycle-accurate timing model, a two-pass
+// assembler, and the paper's instruction-set extension — pstart and pend —
+// that couples the processor's redundant ALUs to the PUF post-processing
+// logic (Section 2, "Architectural Support").
+//
+// In PUF mode (between pstart and pend), the ordinary add instruction both
+// computes its sum and stimulates the two redundant ALUs with its operands,
+// racing them as a PUF query; pend reads the obfuscated result. The raw
+// responses and the obfuscation network's internal registers never become
+// architecturally visible, exactly as the paper requires.
+package mcu
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// Instruction opcodes. R-format ops take (rd, rs1, rs2); I-format ops take
+// (rd, rs1, imm18); branches take (rs1, rs2, offset); JMP takes an absolute
+// word address.
+const (
+	OpHalt Op = iota
+	// R-format ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpRor
+	OpMul
+	OpSltu // rd = (rs1 < rs2) unsigned
+	// I-format ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpMuli
+	OpLui // rd = imm18 << 14
+	// Memory (word addressed): rd = mem[rs1+imm] / mem[rs1+imm] = rd.
+	OpLd
+	OpSt
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBltu
+	OpBgeu
+	OpJmp
+	OpJal // rd = pc+1; pc = addr
+	OpJr  // pc = rs1
+	// PUF-mode extension.
+	OpPstart
+	OpPend
+	numOps
+)
+
+var opNames = [...]string{
+	"halt", "add", "sub", "and", "or", "xor", "shl", "shr", "ror", "mul", "sltu",
+	"addi", "andi", "ori", "xori", "shli", "shri", "muli", "lui",
+	"ld", "st",
+	"beq", "bne", "bltu", "bgeu", "jmp", "jal", "jr",
+	"pstart", "pend",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Instruction field layout (32-bit words):
+//
+//	[31:26] opcode
+//	[25:22] rd   (or rs1 for branches)
+//	[21:18] rs1  (or rs2 for branches)
+//	[17:14] rs2  (R-format)
+//	[17:0]  imm18 (I-format, branches, jumps)
+const (
+	immBits = 18
+	immMask = 1<<immBits - 1
+	immSign = 1 << (immBits - 1)
+	// MaxImm and MinImm bound signed 18-bit immediates.
+	MaxImm = immSign - 1
+	MinImm = -immSign
+)
+
+// EncodeR packs an R-format instruction (rs2 occupies imm bits [17:14]).
+func EncodeR(op Op, rd, rs1, rs2 int) uint32 {
+	return uint32(op)<<26 | uint32(rd&0xf)<<22 | uint32(rs1&0xf)<<18 | uint32(rs2&0xf)<<14
+}
+
+// EncodeI packs an I-format instruction with a signed 18-bit immediate.
+func EncodeI(op Op, rd, rs1 int, imm int32) uint32 {
+	return uint32(op)<<26 | uint32(rd&0xf)<<22 | uint32(rs1&0xf)<<18 | uint32(imm)&immMask
+}
+
+// Decoded is an unpacked instruction.
+type Decoded struct {
+	Op       Op
+	Rd       int
+	Rs1, Rs2 int
+	Imm      int32 // sign-extended 18-bit immediate
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) Decoded {
+	imm := int32(w & immMask)
+	if imm&immSign != 0 {
+		imm -= 1 << immBits
+	}
+	return Decoded{
+		Op:  Op(w >> 26),
+		Rd:  int(w >> 22 & 0xf),
+		Rs1: int(w >> 18 & 0xf),
+		Rs2: int(w >> 14 & 0xf),
+		Imm: imm,
+	}
+}
+
+// UImm returns the zero-extended 18-bit immediate of the word.
+func (d Decoded) UImm() uint32 { return uint32(d.Imm) & immMask }
+
+// Disassemble renders the instruction word as assembler text.
+func Disassemble(w uint32) string {
+	d := Decode(w)
+	switch d.Op {
+	case OpHalt, OpPstart:
+		return d.Op.String()
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpRor, OpMul, OpSltu:
+		return fmt.Sprintf("%s r%d, r%d, r%d", d.Op, d.Rd, d.Rs1, d.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpMuli:
+		return fmt.Sprintf("%s r%d, r%d, %d", d.Op, d.Rd, d.Rs1, d.Imm)
+	case OpLui:
+		return fmt.Sprintf("lui r%d, %d", d.Rd, d.UImm())
+	case OpLd:
+		return fmt.Sprintf("ld r%d, r%d, %d", d.Rd, d.Rs1, d.Imm)
+	case OpSt:
+		return fmt.Sprintf("st r%d, r%d, %d", d.Rd, d.Rs1, d.Imm)
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s r%d, r%d, %d", d.Op, d.Rd, d.Rs1, d.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", d.UImm())
+	case OpJal:
+		return fmt.Sprintf("jal r%d, %d", d.Rd, d.UImm())
+	case OpJr:
+		return fmt.Sprintf("jr r%d", d.Rs1)
+	case OpPend:
+		return fmt.Sprintf("pend r%d", d.Rd)
+	default:
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+}
+
+// CycleCost returns the base cycle cost of an instruction (the PUF-mode add
+// surcharge is applied by the CPU from the port's latency).
+func CycleCost(op Op) uint64 {
+	switch op {
+	case OpMul, OpMuli:
+		return 3
+	case OpLd, OpSt:
+		return 2
+	case OpJmp, OpJal, OpJr:
+		return 2
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return 1 // +1 when taken, applied by the CPU
+	default:
+		return 1
+	}
+}

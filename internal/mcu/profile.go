@@ -1,0 +1,115 @@
+package mcu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cycle profiling: attribute executed cycles to the assembler labels of a
+// program, so the cost structure of the attestation checksum (rounds vs PUF
+// blocks vs bookkeeping) is directly measurable — the breakdown the
+// time-bound engineering in Section 4.2 rests on.
+
+// RegionCost is the cycle count attributed to one labelled region.
+type RegionCost struct {
+	Label  string
+	Start  uint32
+	Cycles uint64
+	Steps  uint64
+}
+
+// Profile is the result of a profiled run.
+type Profile struct {
+	Regions []RegionCost
+	Total   uint64
+}
+
+// ProfileRun executes the CPU to completion (or the cycle budget),
+// attributing each instruction's cycles to the nearest label at or before
+// its address. Unlabelled prefixes accrue to "_start".
+func ProfileRun(c *CPU, symbols map[string]uint32, maxCycles uint64) (*Profile, error) {
+	type labelAt struct {
+		addr  uint32
+		label string
+	}
+	labels := make([]labelAt, 0, len(symbols)+1)
+	labels = append(labels, labelAt{0, "_start"})
+	for name, addr := range symbols {
+		labels = append(labels, labelAt{addr, name})
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].addr != labels[j].addr {
+			return labels[i].addr < labels[j].addr
+		}
+		return labels[i].label < labels[j].label
+	})
+	regionOf := func(pc uint32) int {
+		lo, hi := 0, len(labels)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if labels[mid].addr <= pc {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	costs := make([]RegionCost, len(labels))
+	for i, l := range labels {
+		costs[i] = RegionCost{Label: l.label, Start: l.addr}
+	}
+	for {
+		pc := c.PC
+		before := c.Cycles
+		ok := c.Step()
+		// Attribute even the final (halt) instruction's cycles; a Step
+		// that executed nothing (already stopped) adds no delta.
+		if delta := c.Cycles - before; delta > 0 || ok {
+			r := regionOf(pc)
+			costs[r].Cycles += delta
+			costs[r].Steps++
+		}
+		if !ok {
+			break
+		}
+		if c.Cycles > maxCycles {
+			return nil, fmt.Errorf("mcu: profile cycle budget %d exhausted at pc=%d", maxCycles, c.PC)
+		}
+	}
+	if err := c.Faulted(); err != nil {
+		return nil, err
+	}
+	p := &Profile{Total: c.Cycles}
+	for _, rc := range costs {
+		if rc.Steps > 0 {
+			p.Regions = append(p.Regions, rc)
+		}
+	}
+	sort.Slice(p.Regions, func(i, j int) bool { return p.Regions[i].Cycles > p.Regions[j].Cycles })
+	return p, nil
+}
+
+// Format renders the profile as an aligned table, heaviest region first.
+func (p *Profile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %7s\n", "region", "cycles", "steps", "share")
+	for _, r := range p.Regions {
+		fmt.Fprintf(&b, "%-14s %10d %10d %6.1f%%\n",
+			r.Label, r.Cycles, r.Steps, 100*float64(r.Cycles)/float64(p.Total))
+	}
+	fmt.Fprintf(&b, "%-14s %10d\n", "total", p.Total)
+	return b.String()
+}
+
+// Region returns the cost entry for a label (nil if the label never
+// executed).
+func (p *Profile) Region(label string) *RegionCost {
+	for i := range p.Regions {
+		if p.Regions[i].Label == label {
+			return &p.Regions[i]
+		}
+	}
+	return nil
+}

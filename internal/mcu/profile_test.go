@@ -1,0 +1,63 @@
+package mcu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileSimpleProgram(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 100
+	hot:
+		addi r1, r1, -1
+		bne  r1, r0, hot
+	cold:
+		halt
+	`)
+	c := New(p.Words, 1e6, nil)
+	prof, err := ProfileRun(c, p.Symbols, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := prof.Region("hot")
+	if hot == nil {
+		t.Fatal("hot region missing")
+	}
+	if hot.Steps != 200 { // 100 iterations × 2 instructions
+		t.Errorf("hot steps = %d, want 200", hot.Steps)
+	}
+	if prof.Regions[0].Label != "hot" {
+		t.Errorf("heaviest region = %s, want hot", prof.Regions[0].Label)
+	}
+	start := prof.Region("_start")
+	if start == nil || start.Steps != 1 {
+		t.Errorf("prefix region wrong: %+v", start)
+	}
+	var sum uint64
+	for _, r := range prof.Regions {
+		sum += r.Cycles
+	}
+	if sum != prof.Total {
+		t.Errorf("region cycles %d do not sum to total %d", sum, prof.Total)
+	}
+	out := prof.Format()
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "total") {
+		t.Errorf("format missing content:\n%s", out)
+	}
+}
+
+func TestProfileFaultPropagates(t *testing.T) {
+	p := MustAssemble("li r1, 9999\nld r2, r1, 0\nhalt")
+	c := New(p.Words, 1e6, nil)
+	if _, err := ProfileRun(c, p.Symbols, 1000); err == nil {
+		t.Error("fault not propagated")
+	}
+}
+
+func TestProfileBudget(t *testing.T) {
+	p := MustAssemble("loop: jmp loop")
+	c := New(p.Words, 1e6, nil)
+	if _, err := ProfileRun(c, p.Symbols, 100); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}

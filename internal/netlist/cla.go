@@ -1,0 +1,114 @@
+package netlist
+
+import "fmt"
+
+// Carry-lookahead adder support. The ALU PUF exploits carry propagation;
+// how much entropy the race extracts depends on the adder architecture.
+// A ripple-carry adder (the paper's choice) has long, operand-dependent
+// carry chains; a carry-lookahead adder flattens them into wide AND-OR
+// trees with shallow, more uniform depth. BuildPUFDatapath can be
+// instantiated over either, and the repository's ablation benches compare
+// the resulting PUF quality (see DESIGN.md).
+
+// AdderKind selects the adder architecture of a PUF datapath.
+type AdderKind int
+
+// Adder architectures.
+const (
+	// AdderRCA is the ripple-carry adder (the paper's design).
+	AdderRCA AdderKind = iota
+	// AdderCLA is a 4-bit-group carry-lookahead adder with group-level
+	// carry ripple.
+	AdderCLA
+)
+
+// String names the adder kind.
+func (k AdderKind) String() string {
+	switch k {
+	case AdderRCA:
+		return "ripple-carry"
+	case AdderCLA:
+		return "carry-lookahead"
+	default:
+		return fmt.Sprintf("AdderKind(%d)", int(k))
+	}
+}
+
+// CarryLookaheadAdder instantiates a width-bit adder from 4-bit lookahead
+// groups: within each group the carries are two-level AND-OR functions of
+// the generate/propagate signals, and groups chain through their group
+// carry-out. Returns the sum nets (LSB first) and the final carry.
+func CarryLookaheadAdder(b *Builder, aa, bb []int, cin int, x, y float64) (sum []int, cout int) {
+	if len(aa) != len(bb) {
+		panic(fmt.Sprintf("netlist: CLA with operand widths %d and %d", len(aa), len(bb)))
+	}
+	width := len(aa)
+	sum = make([]int, width)
+	carry := cin
+	for base := 0; base < width; base += 4 {
+		n := 4
+		if base+n > width {
+			n = width - base
+		}
+		gx := x + float64(base/4)*6*cellPitch
+		// Per-bit generate and propagate.
+		g := make([]int, n)
+		p := make([]int, n)
+		for i := 0; i < n; i++ {
+			gy := y + float64(base+i)*tileHeight
+			g[i] = b.Gate(And, aa[base+i], bb[base+i])
+			b.Place(g[i], gx, gy)
+			p[i] = b.Gate(Xor, aa[base+i], bb[base+i])
+			b.Place(p[i], gx+cellPitch, gy)
+		}
+		// Carries into each bit of the group: c_{i+1} = g_i OR p_i·g_{i-1}
+		// OR ... OR p_i···p_0·c_in, built as one wide AND-OR per carry.
+		carries := make([]int, n+1)
+		carries[0] = carry
+		for i := 1; i <= n; i++ {
+			terms := make([]int, 0, i+1)
+			terms = append(terms, g[i-1])
+			for j := i - 2; j >= 0; j-- {
+				// p_{i-1}·p_{i-2}···p_{j+1}·g_j
+				and := []int{g[j]}
+				for k := j + 1; k <= i-1; k++ {
+					and = append(and, p[k])
+				}
+				terms = append(terms, b.Gate(And, and...))
+			}
+			// p_{i-1}···p_0·c_in
+			and := []int{carry}
+			for k := 0; k <= i-1; k++ {
+				and = append(and, p[k])
+			}
+			terms = append(terms, b.Gate(And, and...))
+			if len(terms) == 1 {
+				carries[i] = terms[0]
+			} else {
+				carries[i] = b.Gate(Or, terms...)
+			}
+			b.Place(carries[i], gx+2*cellPitch, y+float64(base+i-1)*tileHeight)
+		}
+		for i := 0; i < n; i++ {
+			sum[base+i] = b.Gate(Xor, p[i], carries[i])
+			b.Place(sum[base+i], gx+3*cellPitch, y+float64(base+i)*tileHeight)
+		}
+		carry = carries[n]
+	}
+	return sum, carry
+}
+
+// BuildCLANetlist builds a standalone width-bit carry-lookahead adder
+// netlist with inputs a[width], b[width], cin and outputs sum[width], cout.
+func BuildCLANetlist(width int) *Netlist {
+	b := NewBuilder()
+	aa := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	cin := b.Input("cin")
+	sum, cout := CarryLookaheadAdder(b, aa, bb, cin, 0, 0)
+	for i, s := range sum {
+		b.Output(fmt.Sprintf("sum[%d]", i), s)
+	}
+	b.Output("cout", cout)
+	return b.MustBuild()
+}

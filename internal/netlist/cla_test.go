@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func claCompute(nl *Netlist, width int, a, b uint64, cin uint8) (sum uint64, cout uint8) {
+	in := make([]uint8, 2*width+1)
+	for i := 0; i < width; i++ {
+		in[i] = uint8(a >> uint(i) & 1)
+		in[width+i] = uint8(b >> uint(i) & 1)
+	}
+	in[2*width] = cin
+	out := nl.OutputValues(nl.Evaluate(in))
+	for i := 0; i < width; i++ {
+		sum |= uint64(out[i]) << uint(i)
+	}
+	return sum, out[width]
+}
+
+func TestCLAMatchesIntegerAdd(t *testing.T) {
+	for _, width := range []int{4, 7, 16} {
+		nl := BuildCLANetlist(width)
+		mask := uint64(1)<<uint(width) - 1
+		f := func(a, b uint32, cin bool) bool {
+			c := uint8(0)
+			if cin {
+				c = 1
+			}
+			av, bv := uint64(a)&mask, uint64(b)&mask
+			sum, cout := claCompute(nl, width, av, bv, c)
+			total := av + bv + uint64(c)
+			return sum == total&mask && cout == uint8(total>>uint(width))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestCLA32Exhaustive(t *testing.T) {
+	nl := BuildCLANetlist(32)
+	for _, c := range []struct{ a, b uint64 }{
+		{0, 0},
+		{0xffffffff, 1},
+		{0xffffffff, 0xffffffff},
+		{0x0f0f0f0f, 0xf0f0f0f0},
+		{0x12345678, 0x9abcdef0},
+	} {
+		sum, cout := claCompute(nl, 32, c.a, c.b, 0)
+		total := c.a + c.b
+		if sum != total&0xffffffff || cout != uint8(total>>32) {
+			t.Errorf("CLA32(%#x,%#x) = (%#x,%d)", c.a, c.b, sum, cout)
+		}
+	}
+}
+
+func TestCLAIsShallowerThanRCA(t *testing.T) {
+	// The architectural point of lookahead: logic depth grows per 4-bit
+	// group, not per bit.
+	dCLA := BuildCLANetlist(32).Depth()
+	dRCA := BuildRCANetlist(32).Depth()
+	if dCLA >= dRCA {
+		t.Errorf("CLA depth %d not shallower than RCA depth %d", dCLA, dRCA)
+	}
+	if dRCA-dCLA < 20 {
+		t.Errorf("depth gap only %d; lookahead structure suspect", dRCA-dCLA)
+	}
+}
+
+func TestCLAUsesMoreGates(t *testing.T) {
+	gCLA := BuildCLANetlist(16).LogicGates()
+	gRCA := BuildRCANetlist(16).LogicGates()
+	if gCLA <= gRCA {
+		t.Errorf("CLA gates %d should exceed RCA gates %d (the area/depth trade)", gCLA, gRCA)
+	}
+}
+
+func TestPUFDatapathCLAVariant(t *testing.T) {
+	p := BuildPUFDatapath(PUFDatapathConfig{Width: 16, Adder: AdderCLA})
+	if p.ResponseBits() != 16 {
+		t.Fatalf("ResponseBits = %d", p.ResponseBits())
+	}
+	// Functional agreement between the two ALUs.
+	ch := make([]uint8, 32)
+	for i := range ch {
+		ch[i] = uint8((i * 7) % 2)
+	}
+	val := p.Net.Evaluate(p.SetChallenge(ch))
+	for i := 0; i < 16; i++ {
+		a0, a1 := p.Pair(i)
+		if val[a0] != val[a1] {
+			t.Errorf("bit %d: CLA ALUs disagree", i)
+		}
+	}
+	// And the CLA datapath must agree with the RCA datapath functionally.
+	r := BuildPUFDatapath(PUFDatapathConfig{Width: 16, Adder: AdderRCA})
+	rv := r.Net.Evaluate(r.SetChallenge(ch))
+	for i := 0; i < 16; i++ {
+		ca, _ := p.Pair(i)
+		ra, _ := r.Pair(i)
+		if val[ca] != rv[ra] {
+			t.Errorf("bit %d: CLA and RCA datapaths compute different sums", i)
+		}
+	}
+}
+
+func TestAdderKindString(t *testing.T) {
+	if AdderRCA.String() != "ripple-carry" || AdderCLA.String() != "carry-lookahead" {
+		t.Error("AdderKind names wrong")
+	}
+	if AdderKind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}

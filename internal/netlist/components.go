@@ -1,0 +1,249 @@
+package netlist
+
+import "fmt"
+
+// This file provides the structural components of the PUFatt hardware:
+// full adders, ripple-carry adders, a small multi-function ALU, and the
+// two-ALU PUF datapath of the paper's Figure 1.
+
+// cell placement constants, in micrometres, loosely modelled on a 45 nm
+// standard-cell row: each full adder occupies one placement tile; the two
+// redundant ALUs sit in adjacent columns ("close proximity", Section 4.1).
+const (
+	cellPitch  = 1.4 // horizontal pitch between gates inside a tile
+	tileHeight = 3.0 // vertical pitch between adder bit slices
+	aluSpacing = 18.0
+)
+
+// FullAdderNets holds the nets of one full adder instance.
+type FullAdderNets struct {
+	Sum, Cout int
+}
+
+// FullAdder instantiates the standard two-XOR/two-AND/one-OR full adder:
+//
+//	sum  = a XOR b XOR cin
+//	cout = (a AND b) OR ((a XOR b) AND cin)
+//
+// Gates are placed around (x, y).
+func FullAdder(b *Builder, a, bb, cin int, x, y float64) FullAdderNets {
+	s1 := b.Gate(Xor, a, bb)
+	b.Place(s1, x, y)
+	sum := b.Gate(Xor, s1, cin)
+	b.Place(sum, x+cellPitch, y)
+	c1 := b.Gate(And, a, bb)
+	b.Place(c1, x+2*cellPitch, y)
+	c2 := b.Gate(And, s1, cin)
+	b.Place(c2, x+3*cellPitch, y)
+	cout := b.Gate(Or, c1, c2)
+	b.Place(cout, x+4*cellPitch, y)
+	return FullAdderNets{Sum: sum, Cout: cout}
+}
+
+// RippleCarryAdder instantiates a width-bit ripple-carry adder over the
+// operand nets aa and bb (LSB first) with carry-in cin, placed as a column
+// of full-adder tiles starting at (x, y). It returns the sum nets (LSB
+// first) and the carry-out net.
+func RippleCarryAdder(b *Builder, aa, bb []int, cin int, x, y float64) (sum []int, cout int) {
+	if len(aa) != len(bb) {
+		panic(fmt.Sprintf("netlist: ripple-carry adder with operand widths %d and %d", len(aa), len(bb)))
+	}
+	sum = make([]int, len(aa))
+	carry := cin
+	for i := range aa {
+		fa := FullAdder(b, aa[i], bb[i], carry, x, y+float64(i)*tileHeight)
+		sum[i] = fa.Sum
+		carry = fa.Cout
+	}
+	return sum, carry
+}
+
+// Mux2 instantiates a 2:1 multiplexer: out = s ? d1 : d0.
+func Mux2(b *Builder, s, d0, d1 int) int {
+	ns := b.Gate(Not, s)
+	t0 := b.Gate(And, ns, d0)
+	t1 := b.Gate(And, s, d1)
+	return b.Gate(Or, t0, t1)
+}
+
+// ALUOp selects the function of the multi-function ALU built by ALU.
+type ALUOp int
+
+// ALU operations, encoded on two select nets (op0, op1).
+const (
+	ALUAdd ALUOp = 0 // op1=0 op0=0
+	ALUSub ALUOp = 1 // op1=0 op0=1
+	ALUAnd ALUOp = 2 // op1=1 op0=0
+	ALUXor ALUOp = 3 // op1=1 op0=1
+)
+
+// ALUNets holds the nets of one multi-function ALU instance.
+type ALUNets struct {
+	Result []int // LSB first
+	Cout   int
+}
+
+// ALU instantiates a width-bit multi-function ALU over operands aa and bb
+// with function select nets op0 (add/sub, and/xor) and op1 (arith/logic):
+// ADD, SUB (two's complement via inverted B and carry-in), AND, XOR. The
+// arithmetic path is a ripple-carry adder — the structure the ALU PUF
+// exploits. Placement starts at (x, y).
+func ALU(b *Builder, aa, bb []int, op0, op1 int, x, y float64) ALUNets {
+	width := len(aa)
+	// B operand conditioning for subtraction: b XOR op0 when in arith mode.
+	bCond := make([]int, width)
+	for i := range bb {
+		bCond[i] = b.Gate(Xor, bb[i], op0)
+		b.Place(bCond[i], x-2*cellPitch, y+float64(i)*tileHeight)
+	}
+	sum, cout := RippleCarryAdder(b, aa, bCond, op0, x, y)
+	res := make([]int, width)
+	for i := 0; i < width; i++ {
+		andBit := b.Gate(And, aa[i], bb[i])
+		xorBit := b.Gate(Xor, aa[i], bb[i])
+		logic := Mux2(b, op0, andBit, xorBit)
+		res[i] = Mux2(b, op1, sum[i], logic)
+		b.Place(res[i], x+6*cellPitch, y+float64(i)*tileHeight)
+	}
+	return ALUNets{Result: res, Cout: cout}
+}
+
+// PUFDatapath describes the built two-ALU PUF netlist: which output nets
+// belong to which ALU, pairwise. Response bit i is derived by an arbiter
+// comparing the arrival times of A0Sum[i] and A1Sum[i] (and, if UseCarry,
+// one extra bit from the two carry-outs).
+type PUFDatapath struct {
+	Net      *Netlist
+	Width    int   // operand width (= number of sum-bit response pairs)
+	AInputs  []int // operand A input nets, LSB first (shared by both ALUs)
+	BInputs  []int // operand B input nets
+	A0Sum    []int // ALU 0 sum nets
+	A1Sum    []int // ALU 1 sum nets
+	A0Cout   int
+	A1Cout   int
+	UseCarry bool
+}
+
+// PUFDatapathConfig configures BuildPUFDatapath.
+type PUFDatapathConfig struct {
+	Width    int       // operand width in bits (16 or 32 in the paper)
+	UseCarry bool      // compare the carry-out pair as an extra response bit
+	Adder    AdderKind // adder architecture (default ripple-carry)
+	OriginX  float64   // die placement of the datapath
+	OriginY  float64
+}
+
+// BuildPUFDatapath builds the paper's Figure 1 structure: two identical
+// ripple-carry adder datapaths driven by the same challenge operands, placed
+// in adjacent columns. The synchronization logic that launches both ALUs on
+// the same clock edge is a sequential element and is modelled in package
+// core; structurally this netlist is the pure combinational race.
+func BuildPUFDatapath(cfg PUFDatapathConfig) *PUFDatapath {
+	if cfg.Width <= 0 {
+		panic("netlist: PUF datapath with non-positive width")
+	}
+	b := NewBuilder()
+	aa := b.InputBus("a", cfg.Width)
+	bb := b.InputBus("b", cfg.Width)
+	zero := b.Const(0)
+	adder := RippleCarryAdder
+	if cfg.Adder == AdderCLA {
+		adder = CarryLookaheadAdder
+	}
+	s0, c0 := adder(b, aa, bb, zero, cfg.OriginX, cfg.OriginY)
+	s1, c1 := adder(b, aa, bb, zero, cfg.OriginX+aluSpacing, cfg.OriginY)
+	for i := 0; i < cfg.Width; i++ {
+		b.Output(fmt.Sprintf("o[%d]", i), s0[i])
+	}
+	b.Output("co", c0)
+	for i := 0; i < cfg.Width; i++ {
+		b.Output(fmt.Sprintf("o'[%d]", i), s1[i])
+	}
+	b.Output("co'", c1)
+	return &PUFDatapath{
+		Net:      b.MustBuild(),
+		Width:    cfg.Width,
+		AInputs:  aa,
+		BInputs:  bb,
+		A0Sum:    s0,
+		A1Sum:    s1,
+		A0Cout:   c0,
+		A1Cout:   c1,
+		UseCarry: cfg.UseCarry,
+	}
+}
+
+// ResponseBits returns the number of response bits the datapath produces.
+func (p *PUFDatapath) ResponseBits() int {
+	if p.UseCarry {
+		return p.Width + 1
+	}
+	return p.Width
+}
+
+// Pair returns the two nets whose arrival-time race produces response bit i.
+func (p *PUFDatapath) Pair(i int) (a0, a1 int) {
+	if i < p.Width {
+		return p.A0Sum[i], p.A1Sum[i]
+	}
+	if p.UseCarry && i == p.Width {
+		return p.A0Cout, p.A1Cout
+	}
+	panic(fmt.Sprintf("netlist: response bit %d out of range (width %d)", i, p.Width))
+}
+
+// SetChallenge writes the 2*Width challenge bits into an input vector for
+// Netlist.Evaluate / the timing engines: the low Width bits of the challenge
+// drive operand A and the high Width bits drive operand B, LSB first.
+func (p *PUFDatapath) SetChallenge(challenge []uint8) []uint8 {
+	if len(challenge) != 2*p.Width {
+		panic(fmt.Sprintf("netlist: challenge of %d bits, want %d", len(challenge), 2*p.Width))
+	}
+	in := make([]uint8, len(p.Net.Inputs))
+	copy(in, challenge)
+	return in
+}
+
+// BuildFullAdderNetlist builds a single full adder as a standalone netlist,
+// used by unit tests and the resource estimator.
+func BuildFullAdderNetlist() *Netlist {
+	b := NewBuilder()
+	a := b.Input("a")
+	bb := b.Input("b")
+	cin := b.Input("cin")
+	fa := FullAdder(b, a, bb, cin, 0, 0)
+	b.Output("sum", fa.Sum)
+	b.Output("cout", fa.Cout)
+	return b.MustBuild()
+}
+
+// BuildRCANetlist builds a standalone width-bit ripple-carry adder netlist
+// with inputs a[width], b[width], cin and outputs sum[width], cout.
+func BuildRCANetlist(width int) *Netlist {
+	b := NewBuilder()
+	aa := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	cin := b.Input("cin")
+	sum, cout := RippleCarryAdder(b, aa, bb, cin, 0, 0)
+	for i, s := range sum {
+		b.Output(fmt.Sprintf("sum[%d]", i), s)
+	}
+	b.Output("cout", cout)
+	return b.MustBuild()
+}
+
+// BuildALUNetlist builds a standalone width-bit multi-function ALU netlist
+// with inputs a[width], b[width], op0, op1 and outputs r[width], cout.
+func BuildALUNetlist(width int) *Netlist {
+	b := NewBuilder()
+	aa := b.InputBus("a", width)
+	bb := b.InputBus("b", width)
+	op0 := b.Input("op0")
+	op1 := b.Input("op1")
+	alu := ALU(b, aa, bb, op0, op1, 0, 0)
+	for i, r := range alu.Result {
+		b.Output(fmt.Sprintf("r[%d]", i), r)
+	}
+	b.Output("cout", alu.Cout)
+	return b.MustBuild()
+}

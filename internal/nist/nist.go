@@ -1,0 +1,294 @@
+// Package nist implements the bit-stream randomness tests customarily run
+// on PUF response streams (a subset of the NIST SP 800-22 battery, plus
+// min-entropy estimation): frequency, block frequency, runs, serial
+// (2-bit), cumulative sums, and approximate entropy. PUF papers, PUFatt
+// included, argue unpredictability through Hamming-distance statistics;
+// these tests probe the complementary property — that the response stream
+// of a *single* device is not trivially structured.
+package nist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result is one test's outcome: the statistic, its p-value, and the pass
+// verdict at the conventional α = 0.01.
+type Result struct {
+	Name      string
+	Statistic float64
+	PValue    float64
+	Pass      bool
+}
+
+const alpha = 0.01
+
+func verdict(name string, stat, p float64) Result {
+	return Result{Name: name, Statistic: stat, PValue: p, Pass: p >= alpha}
+}
+
+// erfc is math.Erfc, aliased for readability in the formulas below.
+func erfc(x float64) float64 { return math.Erfc(x) }
+
+// igamc computes the upper regularised incomplete gamma function Q(a, x),
+// used by several SP 800-22 tests. Implementation follows the continued-
+// fraction/series split of Numerical Recipes.
+func igamc(a, x float64) float64 {
+	if x <= 0 || a <= 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - igamSeries(a, x)
+	}
+	return igamCF(a, x)
+}
+
+func igamSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func igamCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Frequency is the monobit test: the proportion of ones should be near 1/2.
+func Frequency(bits []uint8) Result {
+	n := len(bits)
+	s := 0
+	for _, b := range bits {
+		if b != 0 {
+			s++
+		} else {
+			s--
+		}
+	}
+	stat := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	return verdict("frequency", stat, erfc(stat/math.Sqrt2))
+}
+
+// BlockFrequency tests the proportion of ones within m-bit blocks.
+func BlockFrequency(bits []uint8, m int) Result {
+	n := len(bits)
+	nBlocks := n / m
+	if nBlocks == 0 {
+		return Result{Name: "block-frequency", Pass: false}
+	}
+	chi := 0.0
+	for b := 0; b < nBlocks; b++ {
+		ones := 0
+		for i := 0; i < m; i++ {
+			ones += int(bits[b*m+i])
+		}
+		pi := float64(ones) / float64(m)
+		chi += (pi - 0.5) * (pi - 0.5)
+	}
+	chi *= 4 * float64(m)
+	return verdict("block-frequency", chi, igamc(float64(nBlocks)/2, chi/2))
+}
+
+// Runs counts maximal runs of identical bits; too few or too many indicate
+// structure. Requires the frequency test to be passable first (per SP
+// 800-22 the prerequisite is |π − 1/2| < 2/√n).
+func Runs(bits []uint8) Result {
+	n := len(bits)
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	pi := float64(ones) / float64(n)
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return Result{Name: "runs", Statistic: pi, PValue: 0, Pass: false}
+	}
+	v := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			v++
+		}
+	}
+	num := math.Abs(float64(v) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	return verdict("runs", float64(v), erfc(num/den))
+}
+
+// Serial is the 2-bit serial test (∇ψ²_m for m = 2): overlapping 2-bit
+// patterns should be equidistributed.
+func Serial(bits []uint8) Result {
+	n := len(bits)
+	if n < 4 {
+		return Result{Name: "serial", Pass: false}
+	}
+	psi := func(m int) float64 {
+		counts := make([]int, 1<<uint(m))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < m; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			sum += float64(c) * float64(c)
+		}
+		return sum*float64(int(1)<<uint(m))/float64(n) - float64(n)
+	}
+	d := psi(2) - psi(1)
+	return verdict("serial", d, igamc(1, d/2))
+}
+
+// CumulativeSums is the cusum test (forward): the random walk of ±1 bits
+// should not stray far from the origin.
+func CumulativeSums(bits []uint8) Result {
+	n := len(bits)
+	s, maxZ := 0, 0
+	for _, b := range bits {
+		if b != 0 {
+			s++
+		} else {
+			s--
+		}
+		if s > maxZ {
+			maxZ = s
+		}
+		if -s > maxZ {
+			maxZ = -s
+		}
+	}
+	z := float64(maxZ)
+	fn := float64(n)
+	sqn := math.Sqrt(fn)
+	p := 1.0
+	sum1 := 0.0
+	for k := int(math.Floor((-fn/z + 1) / 4)); k <= int(math.Floor((fn/z-1)/4)); k++ {
+		sum1 += normCDF((float64(4*k)+1)*z/sqn) - normCDF((float64(4*k)-1)*z/sqn)
+	}
+	sum2 := 0.0
+	for k := int(math.Floor((-fn/z - 3) / 4)); k <= int(math.Floor((fn/z-1)/4)); k++ {
+		sum2 += normCDF((float64(4*k)+3)*z/sqn) - normCDF((float64(4*k)+1)*z/sqn)
+	}
+	p = 1 - sum1 + sum2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return verdict("cusum", z, p)
+}
+
+func normCDF(x float64) float64 { return 0.5 * erfc(-x/math.Sqrt2) }
+
+// ApproximateEntropy compares the frequencies of overlapping m- and
+// (m+1)-bit patterns.
+func ApproximateEntropy(bits []uint8, m int) Result {
+	n := len(bits)
+	phi := func(m int) float64 {
+		if m == 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(m))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < m; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+	apen := phi(m) - phi(m+1)
+	chi := 2 * float64(n) * (math.Ln2 - apen)
+	return verdict("approximate-entropy", apen, igamc(float64(int(1)<<uint(m-1)), chi/2))
+}
+
+// MinEntropyPerBit estimates the min-entropy per bit from the most common
+// value frequency (the MCV estimator of SP 800-90B, per bit position is the
+// caller's job; this treats the stream as iid bits).
+func MinEntropyPerBit(bits []uint8) float64 {
+	n := len(bits)
+	if n == 0 {
+		return 0
+	}
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	pMax := float64(ones) / float64(n)
+	if pMax < 0.5 {
+		pMax = 1 - pMax
+	}
+	// Upper confidence bound per SP 800-90B.
+	pU := pMax + 2.576*math.Sqrt(pMax*(1-pMax)/float64(n))
+	if pU > 1 {
+		pU = 1
+	}
+	return -math.Log2(pU)
+}
+
+// Battery runs every test over the stream and returns the results.
+func Battery(bits []uint8) []Result {
+	return []Result{
+		Frequency(bits),
+		BlockFrequency(bits, 128),
+		Runs(bits),
+		Serial(bits),
+		CumulativeSums(bits),
+		ApproximateEntropy(bits, 2),
+	}
+}
+
+// Summary formats a battery result set.
+func Summary(results []Result) string {
+	out := ""
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		out += fmt.Sprintf("  %-20s %s (p=%.4f)\n", r.Name, status, r.PValue)
+	}
+	return out
+}

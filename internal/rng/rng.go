@@ -1,0 +1,186 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used throughout the PUFatt simulation stack.
+//
+// Reproducibility is a first-class requirement for the experiments in this
+// repository: every simulated chip, every challenge stream and every noise
+// source must be independently re-derivable from a single experiment seed.
+// The package therefore offers named substreams ("chip/3/vth",
+// "challenges/fig3", ...) derived with SplitMix64 from a FNV-hashed label,
+// feeding an xoshiro256** core generator.
+//
+// The generators here are NOT cryptographically secure; protocol nonces in
+// package attest use crypto/rand instead.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances the state and returns the next output. It is used both
+// for seeding xoshiro and for deriving substream seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv1a64 hashes a label to a 64-bit value (FNV-1a).
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// valid; use New or Source.Sub to construct one.
+type Source struct {
+	seed uint64 // the construction seed; substream derivation uses this,
+	// not the mutable state, so Sub results do not depend on how far the
+	// parent stream has advanced.
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given 64-bit seed. Distinct seeds
+// yield (with overwhelming probability) unrelated streams.
+func New(seed uint64) *Source {
+	src := Source{seed: seed}
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Sub derives an independent substream identified by label. Calling Sub with
+// the same label on an identically-seeded Source always yields the same
+// stream, and different labels yield unrelated streams. Sub does not advance
+// the parent stream.
+func (s *Source) Sub(label string) *Source {
+	mix := s.seed
+	mix ^= bits.RotateLeft64(splitmix64(&mix), 17) ^ fnv1a64(label)
+	return New(mix)
+}
+
+// SubN derives an independent substream identified by label and an index,
+// convenient for per-chip or per-gate streams.
+func (s *Source) SubN(label string, n int) *Source {
+	mix := s.seed
+	mix ^= bits.RotateLeft64(splitmix64(&mix), 17) ^ fnv1a64(label) ^ (0x9e3779b97f4a7c15 * uint64(n+1))
+	return New(mix)
+}
+
+// Uint64 returns the next 64 pseudo-random bits (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (s *Source) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Uses Lemire's multiply-shift rejection method.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniformly distributed boolean.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Bit returns a uniformly distributed bit as a uint8 (0 or 1).
+func (s *Source) Bit() uint8 { return uint8(s.Uint64() & 1) }
+
+// Norm returns a normally distributed float64 with mean 0 and standard
+// deviation 1, using the Marsaglia polar method.
+func (s *Source) Norm() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// NormMS returns a normally distributed float64 with the given mean and
+// standard deviation.
+func (s *Source) NormMS(mean, sigma float64) float64 {
+	return mean + sigma*s.Norm()
+}
+
+// Bits fills dst with independent uniform bits (one bit per element, values
+// 0 or 1).
+func (s *Source) Bits(dst []uint8) {
+	var buf uint64
+	var left int
+	for i := range dst {
+		if left == 0 {
+			buf = s.Uint64()
+			left = 64
+		}
+		dst[i] = uint8(buf & 1)
+		buf >>= 1
+		left--
+	}
+}
+
+// Word returns a uniformly distributed n-bit word (n in [0,64]).
+func (s *Source) Word(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return s.Uint64()
+	}
+	return s.Uint64() >> (64 - uint(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

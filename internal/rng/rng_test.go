@@ -1,0 +1,205 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSubStreamsAreStable(t *testing.T) {
+	a := New(7).Sub("chip/0")
+	b := New(7).Sub("chip/0")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("substream not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestSubStreamsAreIndependentOfParentUse(t *testing.T) {
+	p1 := New(7)
+	p2 := New(7)
+	p2.Uint64() // advancing the parent must not change the substream
+	a := p1.Sub("x")
+	b := p2.Sub("x")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Sub depends on parent stream position")
+	}
+}
+
+func TestSubDifferentLabelsDiffer(t *testing.T) {
+	p := New(7)
+	if p.Sub("a").Uint64() == p.Sub("b").Uint64() {
+		t.Fatal("different labels produced identical substreams")
+	}
+	if p.SubN("a", 0).Uint64() == p.SubN("a", 1).Uint64() {
+		t.Fatal("different indices produced identical substreams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bin %d: count %d too far from expected %.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormMS(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormMS(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Errorf("NormMS mean = %v, want ~5", mean)
+	}
+}
+
+func TestWord(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 5, 16, 32, 63, 64} {
+		for i := 0; i < 100; i++ {
+			v := r.Word(n)
+			if n < 64 && v >= (uint64(1)<<uint(n)) {
+				t.Fatalf("Word(%d) = %#x exceeds %d bits", n, v, n)
+			}
+		}
+	}
+	if New(1).Word(0) != 0 {
+		t.Error("Word(0) != 0")
+	}
+}
+
+func TestBits(t *testing.T) {
+	r := New(19)
+	buf := make([]uint8, 1000)
+	r.Bits(buf)
+	ones := 0
+	for _, b := range buf {
+		if b > 1 {
+			t.Fatalf("Bits produced value %d", b)
+		}
+		ones += int(b)
+	}
+	if ones < 400 || ones > 600 {
+		t.Errorf("Bits produced %d ones in 1000, want ~500", ones)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := New(23)
+	const n = 64000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(r.Bit())
+	}
+	if ones < n/2-600 || ones > n/2+600 {
+		t.Errorf("Bit produced %d ones in %d draws", ones, n)
+	}
+}

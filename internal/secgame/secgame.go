@@ -1,0 +1,149 @@
+// Package secgame implements the game-based security evaluation the paper
+// defers to future work ("A formal analysis based on the security framework
+// in [2] is planned" — Armknecht, Sadeghi, Schulz, Wachsmann, CCS 2013).
+//
+// The framework phrases software attestation security as experiments:
+//
+//   - Correctness: the honest prover, run n times with fresh challenges,
+//     must be accepted except with negligible probability.
+//   - Soundness: an adversary controlling the prover's software (but not
+//     its PUF) wins the attestation game if the verifier accepts while the
+//     prover's memory differs from the expected state. The scheme is
+//     ε-sound if no adversary strategy wins with probability above ε.
+//
+// This package runs those experiments empirically against the concrete
+// adversary strategies of package attacks, reporting per-strategy win rates
+// with Clopper-Pearson-style (Wilson) upper confidence bounds — the
+// quantity standing in for ε.
+package secgame
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pufatt/internal/attest"
+)
+
+// Experiment fixes the verifier-side game parameters.
+type Experiment struct {
+	Verifier *attest.Verifier
+	Link     attest.Link
+	// Trials per strategy.
+	Trials int
+	// Confidence z-score for the ε upper bound (2.576 → 99 %).
+	Z float64
+}
+
+// NewExperiment returns an experiment with n trials at 99 % confidence.
+func NewExperiment(v *attest.Verifier, link attest.Link, trials int) *Experiment {
+	return &Experiment{Verifier: v, Link: link, Trials: trials, Z: 2.576}
+}
+
+// Outcome is one strategy's empirical result.
+type Outcome struct {
+	Strategy string
+	Wins     int
+	Trials   int
+	// WinRate is the empirical win probability; EpsilonUpper its Wilson
+	// upper confidence bound — the experiment's ε estimate.
+	WinRate      float64
+	EpsilonUpper float64
+	// Err records a strategy whose agent failed outright.
+	Err error
+}
+
+// wilsonUpper computes the Wilson score interval's upper bound.
+func wilsonUpper(wins, trials int, z float64) float64 {
+	if trials == 0 {
+		return 1
+	}
+	n := float64(trials)
+	p := float64(wins) / n
+	z2 := z * z
+	center := p + z2/(2*n)
+	margin := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	u := (center + margin) / (1 + z2/n)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Run plays the attestation game Trials times against one strategy and
+// reports how often the verifier accepted.
+func (e *Experiment) Run(name string, agent attest.ProverAgent) Outcome {
+	out := Outcome{Strategy: name, Trials: e.Trials}
+	for i := 0; i < e.Trials; i++ {
+		res, err := attest.RunSession(e.Verifier, agent, e.Link)
+		if err != nil {
+			out.Err = fmt.Errorf("secgame: %s trial %d: %w", name, i, err)
+			break
+		}
+		if res.Accepted {
+			out.Wins++
+		}
+	}
+	out.WinRate = float64(out.Wins) / float64(e.Trials)
+	out.EpsilonUpper = wilsonUpper(out.Wins, e.Trials, e.Z)
+	return out
+}
+
+// Report is the full experiment result: the correctness outcome for the
+// honest prover and the soundness outcomes per adversary strategy.
+type Report struct {
+	Correctness Outcome
+	Soundness   []Outcome
+}
+
+// CorrectnessHolds reports whether the honest prover was (essentially)
+// always accepted.
+func (r *Report) CorrectnessHolds() bool {
+	return r.Correctness.Err == nil && r.Correctness.WinRate >= 0.99
+}
+
+// SoundnessEpsilon returns the largest ε upper bound over all adversary
+// strategies (the empirical soundness level of the scheme against this
+// strategy set).
+func (r *Report) SoundnessEpsilon() float64 {
+	eps := 0.0
+	for _, o := range r.Soundness {
+		if o.EpsilonUpper > eps {
+			eps = o.EpsilonUpper
+		}
+	}
+	return eps
+}
+
+// SoundnessHolds reports whether no adversary ever won.
+func (r *Report) SoundnessHolds() bool {
+	for _, o := range r.Soundness {
+		if o.Err != nil || o.Wins > 0 {
+			return false
+		}
+	}
+	return len(r.Soundness) > 0
+}
+
+// Format renders the report.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attestation security experiments (framework of Armknecht et al. [2])\n")
+	row := func(o Outcome) {
+		if o.Err != nil {
+			fmt.Fprintf(&b, "  %-24s ERROR: %v\n", o.Strategy, o.Err)
+			return
+		}
+		fmt.Fprintf(&b, "  %-24s wins %3d/%3d  (rate %.3f, ε ≤ %.3f @99%%)\n",
+			o.Strategy, o.Wins, o.Trials, o.WinRate, o.EpsilonUpper)
+	}
+	fmt.Fprintf(&b, "correctness (honest prover must win):\n")
+	row(r.Correctness)
+	fmt.Fprintf(&b, "soundness (adversaries must not win):\n")
+	for _, o := range r.Soundness {
+		row(o)
+	}
+	fmt.Fprintf(&b, "verdict: correctness=%v soundness=%v (ε ≤ %.3f over this strategy set)\n",
+		r.CorrectnessHolds(), r.SoundnessHolds(), r.SoundnessEpsilon())
+	return b.String()
+}

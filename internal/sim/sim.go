@@ -1,0 +1,357 @@
+// Package sim provides the two gate-level timing engines used to evaluate
+// the ALU PUF.
+//
+// The levelized engine (Arrival) performs floating-mode arrival-time
+// analysis in a single topological pass: for every net it computes both its
+// Boolean value and the time at which that value becomes determined, taking
+// controlling values into account (an AND output is determined as soon as
+// its earliest 0-input arrives). This is the engine used for bulk
+// challenge/response generation — the paper evaluates 10^6 challenges per
+// experiment — because it is allocation-free per query and an order of
+// magnitude faster than event-driven simulation.
+//
+// The event-driven engine (EventSim) is a classic inertial-delay logic
+// simulator with a time-ordered event queue. It reproduces actual signal
+// transitions, including glitches on the ripple-carry chain, and supports
+// "latch at time T" semantics: reading every net's value at an arbitrary
+// cutoff time. That is exactly the behaviour needed to model the
+// overclocking attack of Section 4.2, where a too-short clock period latches
+// the PUF output flip-flops before the adder has settled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"pufatt/internal/delay"
+	"pufatt/internal/netlist"
+)
+
+// Engine computes values and arrival times for a fixed netlist/delay-table
+// pair using the levelized floating-mode analysis. It reuses internal
+// buffers across calls; an Engine is not safe for concurrent use.
+type Engine struct {
+	nl      *netlist.Netlist
+	delays  delay.Table
+	values  []uint8
+	arrival []float64
+}
+
+// NewEngine returns a levelized engine over the netlist with the given
+// per-gate delay table.
+func NewEngine(nl *netlist.Netlist, delays delay.Table) *Engine {
+	if len(delays.Ps) != len(nl.Gates) {
+		panic(fmt.Sprintf("sim: delay table of %d entries for %d gates", len(delays.Ps), len(nl.Gates)))
+	}
+	return &Engine{
+		nl:      nl,
+		delays:  delays,
+		values:  make([]uint8, len(nl.Gates)),
+		arrival: make([]float64, len(nl.Gates)),
+	}
+}
+
+// SetDelays replaces the delay table (e.g. for a new operating corner).
+func (e *Engine) SetDelays(delays delay.Table) {
+	if len(delays.Ps) != len(e.nl.Gates) {
+		panic(fmt.Sprintf("sim: delay table of %d entries for %d gates", len(delays.Ps), len(e.nl.Gates)))
+	}
+	e.delays = delays
+}
+
+// Run evaluates the netlist for the given primary-input vector. The returned
+// slices are owned by the engine and valid until the next Run call.
+func (e *Engine) Run(inputs []uint8) (values []uint8, arrival []float64) {
+	nl := e.nl
+	if len(inputs) != len(nl.Inputs) {
+		panic(fmt.Sprintf("sim: %d inputs for netlist with %d", len(inputs), len(nl.Inputs)))
+	}
+	for i, g := range nl.Inputs {
+		e.values[g] = inputs[i] & 1
+		e.arrival[g] = 0
+	}
+	for _, g := range nl.Order {
+		gate := &nl.Gates[g]
+		switch gate.Kind {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			e.values[g] = 0
+			e.arrival[g] = 0
+			continue
+		case netlist.Const1:
+			e.values[g] = 1
+			e.arrival[g] = 0
+			continue
+		}
+		d := e.delays.Ps[g]
+		ctrl, hasCtrl := gate.Kind.ControllingValue()
+		var val uint8
+		var t float64
+		switch gate.Kind {
+		case netlist.Buf:
+			val = e.values[gate.Fanin[0]]
+			t = e.arrival[gate.Fanin[0]]
+		case netlist.Not:
+			val = e.values[gate.Fanin[0]] ^ 1
+			t = e.arrival[gate.Fanin[0]]
+		default:
+			// Compute value and the determination time in one scan.
+			controlled := false
+			tCtrl := math.Inf(1)
+			tMax := 0.0
+			switch gate.Kind {
+			case netlist.And, netlist.Nand:
+				val = 1
+			case netlist.Or, netlist.Nor:
+				val = 0
+			default:
+				val = 0
+			}
+			for _, f := range gate.Fanin {
+				v := e.values[f]
+				ta := e.arrival[f]
+				switch gate.Kind {
+				case netlist.And, netlist.Nand:
+					val &= v
+				case netlist.Or, netlist.Nor:
+					val |= v
+				case netlist.Xor, netlist.Xnor:
+					val ^= v
+				}
+				if hasCtrl && v == ctrl {
+					controlled = true
+					if ta < tCtrl {
+						tCtrl = ta
+					}
+				}
+				if ta > tMax {
+					tMax = ta
+				}
+			}
+			switch gate.Kind {
+			case netlist.Nand, netlist.Nor, netlist.Xnor:
+				val ^= 1
+			}
+			if controlled {
+				t = tCtrl
+			} else {
+				t = tMax
+			}
+		}
+		e.values[g] = val
+		e.arrival[g] = t + d
+	}
+	return e.values, e.arrival
+}
+
+// event is one scheduled output transition in the event-driven simulator.
+type event struct {
+	t    float64
+	seq  uint64
+	gate int
+	val  uint8
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// EventSim is an inertial-delay event-driven logic simulator.
+type EventSim struct {
+	nl         *netlist.Netlist
+	delays     delay.Table
+	values     []uint8
+	lastChange []float64
+	pendSeq    []uint64 // active pending-event sequence per gate, 0 = none
+	pendVal    []uint8
+	queue      eventHeap
+	now        float64
+	seq        uint64
+	transits   uint64
+	// OnTransition, when set, observes every committed signal transition
+	// (waveform dumping, activity analysis). It must not mutate the
+	// simulator.
+	OnTransition func(gate int, t float64, v uint8)
+}
+
+// NewEventSim returns an event-driven simulator over the netlist with the
+// given per-gate delay table, initialised to the all-zero quiescent state.
+func NewEventSim(nl *netlist.Netlist, delays delay.Table) *EventSim {
+	if len(delays.Ps) != len(nl.Gates) {
+		panic(fmt.Sprintf("sim: delay table of %d entries for %d gates", len(delays.Ps), len(nl.Gates)))
+	}
+	s := &EventSim{
+		nl:         nl,
+		delays:     delays,
+		values:     make([]uint8, len(nl.Gates)),
+		lastChange: make([]float64, len(nl.Gates)),
+		pendSeq:    make([]uint64, len(nl.Gates)),
+		pendVal:    make([]uint8, len(nl.Gates)),
+	}
+	s.Settle(make([]uint8, len(nl.Inputs)))
+	return s
+}
+
+// Settle initialises the simulator to the quiescent state reached with the
+// given primary inputs: all nets take their zero-delay values and all
+// last-change times reset to 0; time restarts at 0.
+func (s *EventSim) Settle(inputs []uint8) {
+	val := s.nl.Evaluate(inputs)
+	copy(s.values, val)
+	for i := range s.lastChange {
+		s.lastChange[i] = 0
+		s.pendSeq[i] = 0
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.transits = 0
+}
+
+// Apply changes the primary inputs at the current simulation time and
+// schedules the resulting gate evaluations. Inputs transition with zero
+// delay.
+func (s *EventSim) Apply(inputs []uint8) {
+	if len(inputs) != len(s.nl.Inputs) {
+		panic(fmt.Sprintf("sim: %d inputs for netlist with %d", len(inputs), len(s.nl.Inputs)))
+	}
+	for i, g := range s.nl.Inputs {
+		v := inputs[i] & 1
+		if s.values[g] == v {
+			continue
+		}
+		s.values[g] = v
+		s.lastChange[g] = s.now
+		s.transits++
+		if s.OnTransition != nil {
+			s.OnTransition(g, s.now, v)
+		}
+		for _, f := range s.nl.Fanout[g] {
+			s.scheduleGate(f)
+		}
+	}
+}
+
+// scheduleGate re-evaluates gate f against current input values and
+// schedules or cancels its output transition (inertial delay: a newer
+// evaluation supersedes a pending one).
+func (s *EventSim) scheduleGate(f int) {
+	gate := &s.nl.Gates[f]
+	switch gate.Kind {
+	case netlist.Input, netlist.Const0, netlist.Const1:
+		return
+	}
+	var buf [8]uint8
+	in := buf[:0]
+	for _, fn := range gate.Fanin {
+		in = append(in, s.values[fn])
+	}
+	newVal := gate.Kind.Eval(in)
+	if s.pendSeq[f] != 0 {
+		if s.pendVal[f] == newVal {
+			return // pending transition already heads to the right value
+		}
+		s.pendSeq[f] = 0 // cancel: the pulse was swallowed or superseded
+	}
+	if newVal == s.values[f] {
+		return
+	}
+	s.seq++
+	s.pendSeq[f] = s.seq
+	s.pendVal[f] = newVal
+	s.queue.pushEvent(event{t: s.now + s.delays.Ps[f], seq: s.seq, gate: f, val: newVal})
+}
+
+// step processes the earliest event. It reports whether an event was
+// processed.
+func (s *EventSim) step() bool {
+	for len(s.queue) > 0 {
+		ev := s.queue.popEvent()
+		if s.pendSeq[ev.gate] != ev.seq {
+			continue // cancelled
+		}
+		s.pendSeq[ev.gate] = 0
+		s.now = ev.t
+		if s.values[ev.gate] == ev.val {
+			return true
+		}
+		s.values[ev.gate] = ev.val
+		s.lastChange[ev.gate] = ev.t
+		s.transits++
+		if s.OnTransition != nil {
+			s.OnTransition(ev.gate, ev.t, ev.val)
+		}
+		for _, f := range s.nl.Fanout[ev.gate] {
+			s.scheduleGate(f)
+		}
+		return true
+	}
+	return false
+}
+
+// Run processes events until the circuit is quiescent and returns the final
+// simulation time.
+func (s *EventSim) Run() float64 {
+	for s.step() {
+	}
+	return s.now
+}
+
+// RunUntil processes events with time <= t, then advances the clock to t.
+// Pending events beyond t remain queued. This is the latch-at-time-T
+// primitive used by the overclocking model.
+func (s *EventSim) RunUntil(t float64) {
+	for len(s.queue) > 0 {
+		// Drop stale heads so peek sees a live event.
+		if s.pendSeq[s.queue.peek().gate] != s.queue.peek().seq {
+			s.queue.popEvent()
+			continue
+		}
+		if s.queue.peek().t > t {
+			break
+		}
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Value returns the current value of net g.
+func (s *EventSim) Value(g int) uint8 { return s.values[g] }
+
+// LastChange returns the time of the most recent transition on net g (0 if
+// it has not changed since Settle).
+func (s *EventSim) LastChange(g int) float64 { return s.lastChange[g] }
+
+// Now returns the current simulation time.
+func (s *EventSim) Now() float64 { return s.now }
+
+// Pending reports whether any events remain queued.
+func (s *EventSim) Pending() bool {
+	for len(s.queue) > 0 {
+		if s.pendSeq[s.queue.peek().gate] == s.queue.peek().seq {
+			return true
+		}
+		s.queue.popEvent()
+	}
+	return false
+}
+
+// Transitions returns the total number of signal transitions simulated since
+// the last Settle; a proxy for switching activity (and dynamic power).
+func (s *EventSim) Transitions() uint64 { return s.transits }

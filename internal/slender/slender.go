@@ -1,0 +1,167 @@
+// Package slender implements the Slender PUF protocol (Majzoobi, Rostami,
+// Koushanfar, Wallach, Devadas — IEEE S&P Workshops 2012), the substring-
+// matching authentication scheme the PUFatt paper builds its emulation-
+// based verification on (reference [22]).
+//
+// Where PUFatt entangles the PUF with a memory checksum for attestation,
+// Slender authenticates the device alone, with two elegant properties:
+// no error correction (noise is absorbed by a matching threshold instead of
+// helper data) and model-building resistance without an obfuscation network
+// (the prover reveals only a random circular substring of its response
+// stream, never disclosing which part).
+//
+// Protocol: both parties contribute nonces, so neither can choose the
+// effective challenge alone. The prover generates a response stream from
+// the combined seed, selects a secret random offset, and returns the
+// substring at that offset. The verifier emulates the full stream, slides
+// the substring around it (circularly), and accepts if the best match
+// fraction clears the threshold.
+package slender
+
+import (
+	"errors"
+	"fmt"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+)
+
+// Params configures the protocol.
+type Params struct {
+	// StreamBits is the response-stream length L.
+	StreamBits int
+	// SubstringBits is the revealed substring length k.
+	SubstringBits int
+	// Threshold is the minimum fraction of matching bits at the best
+	// alignment for acceptance.
+	Threshold float64
+}
+
+// DefaultParams returns the configuration used by the benches: a 256-bit
+// stream, 64-bit substring, 86 % threshold. The threshold bisects the
+// measured gap between an impostor chip's best circular alignment (~0.81 —
+// elevated above 0.5 because same-design chips correlate through the
+// layout skew) and the genuine device's worst noisy alignment (~0.92).
+func DefaultParams() Params {
+	return Params{StreamBits: 256, SubstringBits: 64, Threshold: 0.86}
+}
+
+// Validate checks structural requirements.
+func (p Params) Validate() error {
+	if p.StreamBits <= 0 || p.SubstringBits <= 0 || p.SubstringBits > p.StreamBits {
+		return fmt.Errorf("slender: invalid lengths L=%d k=%d", p.StreamBits, p.SubstringBits)
+	}
+	if p.Threshold <= 0.5 || p.Threshold > 1 {
+		return fmt.Errorf("slender: threshold %g outside (0.5, 1]", p.Threshold)
+	}
+	return nil
+}
+
+// combineSeed folds both nonces so neither party controls the challenge.
+func combineSeed(nonceV, nonceP uint64) uint64 {
+	return uint64(core.Mix32(uint32(nonceV)^core.Mix32(uint32(nonceP)))) |
+		uint64(core.Mix32(uint32(nonceV>>32)+core.Mix32(uint32(nonceP>>32))))<<32
+}
+
+// stream produces the L-bit response stream for the combined seed using a
+// raw-response reader (device or emulator).
+func stream(read func(challenge []uint8) []uint8, design *core.Design, seed uint64, L int) []uint8 {
+	out := make([]uint8, 0, L)
+	for w := 0; len(out) < L; w++ {
+		ch := design.ExpandChallenge(seed+uint64(w)*0x9e3779b97f4a7c15, w&7)
+		out = append(out, read(ch)...)
+	}
+	return out[:L]
+}
+
+// Prover is the device side of the protocol.
+type Prover struct {
+	Dev    *core.Device
+	Params Params
+	// idxSrc draws the secret substring offsets.
+	idxSrc *rng.Source
+}
+
+// NewProver wraps a device. The offset source is seeded from the device's
+// identity for reproducible experiments; a fielded device would use a TRNG.
+func NewProver(dev *core.Device, p Params) (*Prover, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prover{
+		Dev:    dev,
+		Params: p,
+		idxSrc: rng.New(0x51e4de5 ^ uint64(dev.ChipID())),
+	}, nil
+}
+
+// Respond executes the prover's half: contribute a nonce, build the
+// stream, reveal a secret-offset circular substring.
+func (pr *Prover) Respond(nonceV uint64) (nonceP uint64, substring []uint8) {
+	nonceP = pr.idxSrc.Uint64()
+	seed := combineSeed(nonceV, nonceP)
+	s := stream(pr.Dev.RawResponse, pr.Dev.Design(), seed, pr.Params.StreamBits)
+	offset := pr.idxSrc.Intn(pr.Params.StreamBits)
+	substring = make([]uint8, pr.Params.SubstringBits)
+	for i := range substring {
+		substring[i] = s[(offset+i)%pr.Params.StreamBits]
+	}
+	return nonceP, substring
+}
+
+// Verifier is the emulation side.
+type Verifier struct {
+	Em     *core.Emulator
+	Params Params
+}
+
+// NewVerifier wraps an emulator.
+func NewVerifier(em *core.Emulator, p Params) (*Verifier, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Verifier{Em: em, Params: p}, nil
+}
+
+// Outcome reports a verification decision and its evidence.
+type Outcome struct {
+	Accepted  bool
+	BestFrac  float64
+	BestShift int
+}
+
+// Verify slides the substring around the emulated stream and accepts on a
+// threshold-clearing best alignment.
+func (v *Verifier) Verify(nonceV, nonceP uint64, substring []uint8) (Outcome, error) {
+	if len(substring) != v.Params.SubstringBits {
+		return Outcome{}, errors.New("slender: substring length mismatch")
+	}
+	seed := combineSeed(nonceV, nonceP)
+	s := stream(v.Em.Respond, v.Em.Design(), seed, v.Params.StreamBits)
+	best, bestShift := 0, 0
+	for shift := 0; shift < v.Params.StreamBits; shift++ {
+		match := 0
+		for i := range substring {
+			if substring[i] == s[(shift+i)%v.Params.StreamBits] {
+				match++
+			}
+		}
+		if match > best {
+			best, bestShift = match, shift
+		}
+	}
+	frac := float64(best) / float64(v.Params.SubstringBits)
+	return Outcome{
+		Accepted:  frac >= v.Params.Threshold,
+		BestFrac:  frac,
+		BestShift: bestShift,
+	}, nil
+}
+
+// Authenticate runs one full round between a prover and a verifier,
+// drawing the verifier nonce from src.
+func Authenticate(pr *Prover, v *Verifier, src *rng.Source) (Outcome, error) {
+	nonceV := src.Uint64()
+	nonceP, sub := pr.Respond(nonceV)
+	return v.Verify(nonceV, nonceP, sub)
+}

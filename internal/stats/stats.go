@@ -1,0 +1,330 @@
+// Package stats provides the statistical machinery used to evaluate PUF
+// quality: Hamming distances and weights, histograms, summary statistics,
+// binomial tail probabilities for false-negative-rate analysis, and the
+// uniqueness/reliability metrics standard in the PUF literature.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HammingDistance returns the number of positions at which the two bit
+// vectors differ. It panics if the lengths differ, since comparing responses
+// of different widths is always a caller bug.
+func HammingDistance(a, b []uint8) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Hamming distance of vectors with lengths %d and %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// HammingWeight returns the number of nonzero positions in the bit vector.
+func HammingWeight(a []uint8) int {
+	w := 0
+	for _, bit := range a {
+		if bit != 0 {
+			w++
+		}
+	}
+	return w
+}
+
+// HammingDistanceWords returns the Hamming distance between two uint64 words.
+func HammingDistanceWords(a, b uint64) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Summary holds the running summary statistics of a scalar sample.
+type Summary struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sum2 += x * x
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Var returns the (population) variance of the sample.
+func (s *Summary) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sum2/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return v
+}
+
+// Std returns the (population) standard deviation of the sample.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Summary) Max() float64 { return s.max }
+
+// Histogram counts integer-valued observations in [0, Bins).
+type Histogram struct {
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with the given number of bins.
+func NewHistogram(bins int) *Histogram {
+	return &Histogram{Counts: make([]int64, bins)}
+}
+
+// Add counts one observation. Out-of-range values are clamped into the edge
+// bins so that no observation is silently dropped.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the mean bin value of the recorded observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.Counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.total)
+}
+
+// Std returns the standard deviation of the recorded observations.
+func (h *Histogram) Std() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	m := h.Mean()
+	var s float64
+	for v, c := range h.Counts {
+		d := float64(v) - m
+		s += d * d * float64(c)
+	}
+	return math.Sqrt(s / float64(h.total))
+}
+
+// Fraction returns the fraction of observations in bin v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 || v < 0 || v >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.total)
+}
+
+// Mode returns the bin with the highest count.
+func (h *Histogram) Mode() int {
+	best := 0
+	for v, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = v
+		}
+	}
+	return best
+}
+
+// String renders the histogram as an ASCII bar chart, one line per non-empty
+// bin, matching the presentation style of the paper's Figures 3 and 4.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for v, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / maxCount)
+		fmt.Fprintf(&b, "%3d | %-40s %8.4f%% (%d)\n", v, strings.Repeat("#", bar), 100*h.Fraction(v), c)
+	}
+	return b.String()
+}
+
+// BinomialTail returns P[X >= k] for X ~ Binomial(n, p), computed in log
+// space so that probabilities down to ~1e-300 are representable. This is the
+// analytic false-negative-rate model: the PUF fails authentication when more
+// bits flip than the code corrects.
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		lt := logChoose(n, i) + float64(i)*logP + float64(n-i)*logQ
+		sum += math.Exp(lt)
+	}
+	return sum
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+// logChoose returns log(n choose k) via lgamma.
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// Uniqueness returns the average pairwise inter-chip Hamming distance of the
+// responses, normalised to [0,1]; the ideal value is 0.5. responses[i] is
+// chip i's response to a common challenge set, concatenated bitwise.
+func Uniqueness(responses [][]uint8) float64 {
+	if len(responses) < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(responses); i++ {
+		for j := i + 1; j < len(responses); j++ {
+			sum += float64(HammingDistance(responses[i], responses[j])) / float64(len(responses[i]))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// Reliability returns 1 minus the average intra-chip Hamming distance between
+// a reference response and repeated measurements, normalised to [0,1]; the
+// ideal value is 1.0.
+func Reliability(reference []uint8, measurements [][]uint8) float64 {
+	if len(measurements) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, m := range measurements {
+		sum += float64(HammingDistance(reference, m)) / float64(len(reference))
+	}
+	return 1 - sum/float64(len(measurements))
+}
+
+// BitBias returns, per bit position, the fraction of responses in which that
+// bit is 1. A well-behaved PUF has biases near 0.5 at every position.
+func BitBias(responses [][]uint8) []float64 {
+	if len(responses) == 0 {
+		return nil
+	}
+	width := len(responses[0])
+	bias := make([]float64, width)
+	for _, r := range responses {
+		for i, bit := range r {
+			if bit != 0 {
+				bias[i]++
+			}
+		}
+	}
+	for i := range bias {
+		bias[i] /= float64(len(responses))
+	}
+	return bias
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the sample using
+// linear interpolation. The input slice is not modified.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

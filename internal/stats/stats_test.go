@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingDistance(t *testing.T) {
+	cases := []struct {
+		a, b []uint8
+		want int
+	}{
+		{[]uint8{}, []uint8{}, 0},
+		{[]uint8{0, 1, 1, 0}, []uint8{0, 1, 1, 0}, 0},
+		{[]uint8{0, 1, 1, 0}, []uint8{1, 0, 0, 1}, 4},
+		{[]uint8{1, 1, 0, 0}, []uint8{1, 0, 0, 1}, 2},
+	}
+	for _, c := range cases {
+		if got := HammingDistance(c.a, c.b); got != c.want {
+			t.Errorf("HammingDistance(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingDistancePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	HammingDistance([]uint8{1}, []uint8{1, 0})
+}
+
+func TestHammingDistanceProperties(t *testing.T) {
+	norm := func(v []uint8) []uint8 {
+		out := make([]uint8, len(v))
+		for i := range v {
+			out[i] = v[i] & 1
+		}
+		return out
+	}
+	symmetric := func(a, b [16]uint8) bool {
+		x, y := norm(a[:]), norm(b[:])
+		return HammingDistance(x, y) == HammingDistance(y, x)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a [16]uint8) bool {
+		x := norm(a[:])
+		return HammingDistance(x, x) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	triangle := func(a, b, c [16]uint8) bool {
+		x, y, z := norm(a[:]), norm(b[:]), norm(c[:])
+		return HammingDistance(x, z) <= HammingDistance(x, y)+HammingDistance(y, z)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func TestHammingWeightMatchesDistanceFromZero(t *testing.T) {
+	f := func(a [32]uint8) bool {
+		x := make([]uint8, 32)
+		for i := range x {
+			x[i] = a[i] & 1
+		}
+		return HammingWeight(x) == HammingDistance(x, make([]uint8, 32))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistanceWords(t *testing.T) {
+	if got := HammingDistanceWords(0, 0); got != 0 {
+		t.Errorf("HD(0,0) = %d", got)
+	}
+	if got := HammingDistanceWords(^uint64(0), 0); got != 64 {
+		t.Errorf("HD(~0,0) = %d", got)
+	}
+	if got := HammingDistanceWords(0b1010, 0b0110); got != 2 {
+		t.Errorf("HD(1010,0110) = %d", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Error("empty summary should be all zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{1, 1, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Mode() != 3 {
+		t.Errorf("Mode = %d", h.Mode())
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("Fraction(1) = %v", got)
+	}
+	wantMean := (1.0 + 1 + 2 + 3 + 3 + 3) / 6
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(2)
+	s := h.String()
+	if !strings.Contains(s, "2 |") {
+		t.Errorf("String output missing bin label: %q", s)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// P[X >= 0] is always 1; P[X > n] is 0.
+	if got := BinomialTail(10, 0, 0.3); got != 1 {
+		t.Errorf("tail k=0: %v", got)
+	}
+	if got := BinomialTail(10, 11, 0.3); got != 0 {
+		t.Errorf("tail k>n: %v", got)
+	}
+	// Fair coin: P[X >= 5] for n=9 is exactly 0.5 by symmetry.
+	if got := BinomialTail(9, 5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("symmetric tail = %v, want 0.5", got)
+	}
+	// Cross-check against direct summation for a small case.
+	direct := 0.0
+	for k := 3; k <= 6; k++ {
+		direct += BinomialPMF(6, k, 0.2)
+	}
+	if got := BinomialTail(6, 3, 0.2); math.Abs(got-direct) > 1e-12 {
+		t.Errorf("tail = %v, direct sum = %v", got, direct)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.887} {
+		sum := 0.0
+		for k := 0; k <= 32; k++ {
+			sum += BinomialPMF(32, k, p)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("PMF(32,·,%v) sums to %v", p, sum)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 3, 0) != 0 {
+		t.Error("p=0 PMF wrong")
+	}
+	if BinomialPMF(5, 5, 1) != 1 || BinomialPMF(5, 3, 1) != 0 {
+		t.Error("p=1 PMF wrong")
+	}
+	if BinomialTail(5, 3, 0) != 0 || BinomialTail(5, 3, 1) != 1 {
+		t.Error("degenerate tails wrong")
+	}
+}
+
+func TestBinomialTailPaperFNR(t *testing.T) {
+	// Sanity check of the paper's false-negative-rate regime: with a
+	// per-bit error around 11 % and a 16-error-correcting assumption on 32
+	// bits, the tail lands near 1e-7 (the paper reports 1.53e-7).
+	fnr := BinomialTail(32, 17, 0.113)
+	if fnr > 1e-6 || fnr < 1e-9 {
+		t.Errorf("FNR model = %v, expected within [1e-9, 1e-6]", fnr)
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	a := []uint8{0, 0, 0, 0}
+	b := []uint8{1, 1, 1, 1}
+	c := []uint8{0, 0, 1, 1}
+	// pairwise normalised distances: ab=1, ac=0.5, bc=0.5 → mean 2/3.
+	got := Uniqueness([][]uint8{a, b, c})
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Uniqueness = %v, want 2/3", got)
+	}
+	if Uniqueness([][]uint8{a}) != 0 {
+		t.Error("Uniqueness of one chip should be 0")
+	}
+}
+
+func TestReliability(t *testing.T) {
+	ref := []uint8{1, 0, 1, 0}
+	same := []uint8{1, 0, 1, 0}
+	oneFlip := []uint8{1, 0, 1, 1}
+	got := Reliability(ref, [][]uint8{same, oneFlip})
+	want := 1 - (0.0+0.25)/2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Reliability = %v, want %v", got, want)
+	}
+	if Reliability(ref, nil) != 1 {
+		t.Error("Reliability with no measurements should be 1")
+	}
+}
+
+func TestBitBias(t *testing.T) {
+	rs := [][]uint8{{1, 0, 1}, {1, 0, 0}, {1, 0, 1}}
+	bias := BitBias(rs)
+	want := []float64{1, 0, 2.0 / 3}
+	for i := range want {
+		if math.Abs(bias[i]-want[i]) > 1e-12 {
+			t.Errorf("bias[%d] = %v, want %v", i, bias[i], want[i])
+		}
+	}
+	if BitBias(nil) != nil {
+		t.Error("BitBias(nil) should be nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(s, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(s, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(s, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(s, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Input must not be reordered.
+	s2 := []float64{3, 1, 2}
+	Percentile(s2, 50)
+	if s2[0] != 3 || s2[1] != 1 || s2[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}

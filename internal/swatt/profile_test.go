@@ -1,0 +1,44 @@
+package swatt
+
+import (
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+)
+
+// TestProfileAttestationBreakdown measures where the attestation program
+// spends its cycles: the checksum block loop must dominate, with the PUF
+// query regions (genloop/qloop) visible — the structure the δ engineering
+// relies on.
+func TestProfileAttestationBreakdown(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	dev := core.MustNewDevice(core.MustNewDesign(cfg), rng.New(120), 0)
+	port := mcu.MustNewDevicePort(dev)
+	port.SetClock(50e6)
+	params := Params{MemWords: 1024, Chunks: 2, BlocksPerChunk: 8, PRG: PRGMix32}
+	im, err := BuildImage(params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := im.Clone()
+	run.Layout.SetNonce(run.Mem, 7)
+	c := mcu.New(run.Mem, 50e6, port)
+	prof, err := mcu.ProfileRun(c, im.Program.Symbols, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := prof.Region("blockloop")
+	gen := prof.Region("genloop")
+	q := prof.Region("qloop")
+	if block == nil || gen == nil || q == nil {
+		t.Fatalf("expected regions missing:\n%s", prof.Format())
+	}
+	if block.Cycles <= gen.Cycles {
+		t.Errorf("checksum rounds (%d cycles) should outweigh operand generation (%d)",
+			block.Cycles, gen.Cycles)
+	}
+	t.Logf("attestation cycle breakdown:\n%s", prof.Format())
+}

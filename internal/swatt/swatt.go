@@ -1,0 +1,152 @@
+// Package swatt implements the software-based attestation algorithm of
+// PUFatt's Section 3: a SWATT/SCUBA-style checksum (Seshadri et al.) over
+// the prover's memory, adapted — exactly as the paper describes — to (a)
+// generate PUF challenge seeds from the running checksum state and (b) take
+// the PUF() output z as an additional input to the compression function.
+//
+// The algorithm exists in two bit-identical implementations:
+//
+//   - Checksum: a native Go reference, used by the verifier (with PUF
+//     outputs recovered through core.VerifierPipeline) and by tests.
+//   - GenerateProgram/BuildImage: an MCU assembly program emitted for the
+//     prover CPU of package mcu, which computes the same checksum over its
+//     own program memory, querying the PUF with pstart/add/pend.
+//
+// Checksum structure. State is eight 32-bit words c0..c7 plus a PRG word x,
+// all derived from the verifier's nonce. Each round k (j = k mod 8):
+//
+//	x      = PRG(x)
+//	addr   = x mod N          (N, the attested size, is a power of two)
+//	c[j]   = ROR32(c[j] + (mem[addr] XOR c[(j+1) mod 8]), 1)
+//
+// After every chunk of BlocksPerChunk×8 rounds the prover queries the PUF
+// with seed = x XOR c0 and folds the 16/32-bit output z into both c0 and x —
+// entangling the remaining memory traversal with the device's physical
+// response, which is what defeats checksum pre-computation and outsourcing.
+package swatt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pufatt/internal/core"
+)
+
+// PRG selects the address-generator function (an ablation axis in
+// DESIGN.md).
+type PRG int
+
+// PRG choices.
+const (
+	// PRGMix32 uses x = Mix32(x + golden ratio): strong mixing, ~11
+	// instructions per round on the MCU.
+	PRGMix32 PRG = iota
+	// PRGTFunc uses the Pioneer/SCUBA T-function x = x + (x² OR 5):
+	// weaker mixing, 3 instructions per round.
+	PRGTFunc
+)
+
+// golden is the additive constant of the Mix32 PRG.
+const golden = 0x9e3779b9
+
+// initStep spaces the initial state derivation; c[j] = Mix32(nonce +
+// (j+1)·initStep).
+const initStep = 0x3c6ef372
+
+// Params configures the checksum.
+type Params struct {
+	// MemWords is the attested memory size N in 32-bit words; must be a
+	// power of two and large enough for the generated program plus
+	// payload.
+	MemWords int
+	// Chunks is the number of PUF-entangled chunks.
+	Chunks int
+	// BlocksPerChunk is the number of 8-round blocks per chunk.
+	BlocksPerChunk int
+	// PRG selects the address generator.
+	PRG PRG
+}
+
+// Rounds returns the total number of checksum rounds.
+func (p Params) Rounds() int { return p.Chunks * p.BlocksPerChunk * 8 }
+
+// Validate checks structural requirements.
+func (p Params) Validate() error {
+	if p.MemWords <= 0 || p.MemWords&(p.MemWords-1) != 0 {
+		return fmt.Errorf("swatt: attested size %d is not a power of two", p.MemWords)
+	}
+	if p.Chunks < 1 || p.BlocksPerChunk < 1 {
+		return fmt.Errorf("swatt: need at least one chunk and one block (have %d, %d)", p.Chunks, p.BlocksPerChunk)
+	}
+	if p.PRG != PRGMix32 && p.PRG != PRGTFunc {
+		return fmt.Errorf("swatt: unknown PRG %d", p.PRG)
+	}
+	return nil
+}
+
+// DefaultParams returns the parameters used by the protocol examples and
+// benches: 4096 attested words, 64 chunks of 4 blocks (2048 rounds, 64 PUF
+// invocations).
+func DefaultParams() Params {
+	return Params{MemWords: 4096, Chunks: 64, BlocksPerChunk: 4, PRG: PRGMix32}
+}
+
+// step advances the PRG.
+func (p Params) step(x uint32) uint32 {
+	switch p.PRG {
+	case PRGTFunc:
+		return x + (x*x | 5)
+	default:
+		return core.Mix32(x + golden)
+	}
+}
+
+// InitState derives the initial checksum state from the nonce.
+func InitState(nonce uint32) (c [8]uint32, x uint32) {
+	for j := 0; j < 8; j++ {
+		c[j] = core.Mix32(nonce + uint32(j+1)*initStep)
+	}
+	return c, nonce
+}
+
+// Checksum computes the attestation response over mem (length MemWords)
+// with the given nonce. The puf callback is invoked once per chunk with the
+// challenge seed and must return the 32-bit PUF() output z (the verifier
+// recovers it from helper data; tests wire it to a device pipeline).
+func Checksum(mem []uint32, nonce uint32, p Params, puf func(seed uint32) (uint32, error)) ([8]uint32, error) {
+	if err := p.Validate(); err != nil {
+		return [8]uint32{}, err
+	}
+	if len(mem) < p.MemWords {
+		return [8]uint32{}, fmt.Errorf("swatt: memory of %d words, need %d", len(mem), p.MemWords)
+	}
+	mask := uint32(p.MemWords - 1)
+	c, x := InitState(nonce)
+	k := 0
+	for chunk := 0; chunk < p.Chunks; chunk++ {
+		for b := 0; b < p.BlocksPerChunk; b++ {
+			for j := 0; j < 8; j++ {
+				x = p.step(x)
+				w := mem[x&mask]
+				c[j] = bits.RotateLeft32(c[j]+(w^c[(j+1)&7]), -1)
+				k++
+			}
+		}
+		seed := x ^ c[0]
+		z, err := puf(seed)
+		if err != nil {
+			return [8]uint32{}, fmt.Errorf("swatt: chunk %d: %w", chunk, err)
+		}
+		c[0] ^= z
+		x ^= z
+	}
+	return c, nil
+}
+
+// FoldResponse compresses the eight state words into a single 64-bit
+// attestation response tag for transmission and comparison.
+func FoldResponse(c [8]uint32) uint64 {
+	lo := c[0] ^ bits.RotateLeft32(c[2], 8) ^ bits.RotateLeft32(c[4], 16) ^ bits.RotateLeft32(c[6], 24)
+	hi := c[1] ^ bits.RotateLeft32(c[3], 8) ^ bits.RotateLeft32(c[5], 16) ^ bits.RotateLeft32(c[7], 24)
+	return uint64(hi)<<32 | uint64(lo)
+}

@@ -1,0 +1,199 @@
+// Package variation implements the quad-tree spatial process-variation
+// model the paper adopts from Cline et al. (ICCAD 2006) to assign
+// threshold-voltage variations to every gate of every simulated chip.
+//
+// The die is recursively divided into quadrants for a configured number of
+// levels. Every region at every level carries an independent Gaussian random
+// variable; the systematic (spatially correlated) variation at a die
+// location is the sum of the variables of all regions containing it, so
+// nearby gates share most of their variation — exactly the property the
+// paper relies on when arguing that the two adjacent ALUs see minimal
+// systematic mismatch. On top of the systematic component, each gate draws
+// an independent random component (within-die random variation).
+//
+// The total standard deviation and the systematic/random split are
+// configurable; the paper's setting is σ/µ = 0.1 on Vth at 45 nm.
+package variation
+
+import (
+	"fmt"
+	"math"
+
+	"pufatt/internal/netlist"
+	"pufatt/internal/rng"
+)
+
+// Config parameterises the variation model.
+type Config struct {
+	// Levels is the quad-tree depth. Level l contributes a grid of
+	// 2^l × 2^l regions; typical values are 4–8.
+	Levels int
+	// DieSizeUm is the die edge length in micrometres. Placements outside
+	// the die are clamped onto it.
+	DieSizeUm float64
+	// SigmaTotal is the total per-gate standard deviation of the modelled
+	// parameter (volts, for Vth).
+	SigmaTotal float64
+	// SystematicFrac is the fraction of total variance carried by the
+	// spatially correlated quad-tree component; the remainder is
+	// independent per-gate random variation.
+	SystematicFrac float64
+}
+
+// DefaultConfig returns the configuration used by the experiments: a
+// 2 mm die, six quad-tree levels, and an even split between systematic and
+// random variance, with the given total sigma.
+func DefaultConfig(sigmaTotal float64) Config {
+	return Config{
+		Levels:         6,
+		DieSizeUm:      2000,
+		SigmaTotal:     sigmaTotal,
+		SystematicFrac: 0.5,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Levels < 1 || c.Levels > 12 {
+		return fmt.Errorf("variation: quad-tree levels %d out of range [1,12]", c.Levels)
+	}
+	if c.DieSizeUm <= 0 {
+		return fmt.Errorf("variation: non-positive die size %g", c.DieSizeUm)
+	}
+	if c.SigmaTotal < 0 {
+		return fmt.Errorf("variation: negative sigma %g", c.SigmaTotal)
+	}
+	if c.SystematicFrac < 0 || c.SystematicFrac > 1 {
+		return fmt.Errorf("variation: systematic fraction %g outside [0,1]", c.SystematicFrac)
+	}
+	return nil
+}
+
+// Chip is one manufactured die: a realisation of the quad-tree random field
+// plus a dedicated stream for per-gate random components.
+type Chip struct {
+	cfg    Config
+	id     int
+	grids  [][]float64 // grids[l] has (1<<l)*(1<<l) entries
+	random *rng.Source
+	// sigmaRandom is the per-gate independent sigma.
+	sigmaRandom float64
+}
+
+// NewChip manufactures chip id from the master source: the same (source
+// seed, id) pair always yields the same die. Distinct ids yield independent
+// dies.
+func NewChip(cfg Config, master *rng.Source, id int) (*Chip, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{cfg: cfg, id: id}
+	sysVar := cfg.SigmaTotal * cfg.SigmaTotal * cfg.SystematicFrac
+	perLevelSigma := math.Sqrt(sysVar / float64(cfg.Levels))
+	c.sigmaRandom = cfg.SigmaTotal * math.Sqrt(1-cfg.SystematicFrac)
+	field := master.SubN("chip/field", id)
+	c.grids = make([][]float64, cfg.Levels)
+	for l := 0; l < cfg.Levels; l++ {
+		side := 1 << uint(l)
+		grid := make([]float64, side*side)
+		for i := range grid {
+			grid[i] = field.NormMS(0, perLevelSigma)
+		}
+		c.grids[l] = grid
+	}
+	c.random = master.SubN("chip/random", id)
+	return c, nil
+}
+
+// MustNewChip is NewChip that panics on configuration error.
+func MustNewChip(cfg Config, master *rng.Source, id int) *Chip {
+	c, err := NewChip(cfg, master, id)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the chip identifier.
+func (c *Chip) ID() int { return c.id }
+
+// Config returns the model configuration of the chip.
+func (c *Chip) Config() Config { return c.cfg }
+
+// SystematicAt returns the spatially correlated component of the parameter
+// offset at die location (x, y) in micrometres.
+func (c *Chip) SystematicAt(x, y float64) float64 {
+	cl := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= c.cfg.DieSizeUm {
+			return math.Nextafter(c.cfg.DieSizeUm, 0)
+		}
+		return v
+	}
+	x, y = cl(x), cl(y)
+	var sum float64
+	for l := 0; l < c.cfg.Levels; l++ {
+		side := 1 << uint(l)
+		cell := float64(side) / c.cfg.DieSizeUm
+		ix := int(x * cell)
+		iy := int(y * cell)
+		sum += c.grids[l][iy*side+ix]
+	}
+	return sum
+}
+
+// VthOffsets samples the per-gate threshold offsets for an instance of the
+// netlist placed at (offsetX, offsetY) on this die. The systematic part
+// comes from the quad-tree field at each gate's placement; the random part
+// is drawn from the chip's per-gate stream. Input and constant pseudo-gates
+// get zero offset (they have no delay).
+func (c *Chip) VthOffsets(nl *netlist.Netlist, offsetX, offsetY float64) []float64 {
+	off := make([]float64, len(nl.Gates))
+	// A dedicated substream per (placement) keeps instances on the same die
+	// independent but reproducible.
+	r := c.random.Sub(fmt.Sprintf("inst/%.1f/%.1f", offsetX, offsetY))
+	for g := range nl.Gates {
+		switch nl.Gates[g].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			continue
+		}
+		sys := c.SystematicAt(nl.Gates[g].X+offsetX, nl.Gates[g].Y+offsetY)
+		off[g] = sys + r.NormMS(0, c.sigmaRandom)
+	}
+	return off
+}
+
+// CorrelationAtDistance estimates, by Monte-Carlo over fresh chips, the
+// correlation coefficient of the systematic component between two points at
+// the given distance (µm). Used by tests to verify the field is spatially
+// correlated and decays with distance.
+func CorrelationAtDistance(cfg Config, master *rng.Source, dist float64, chips int) float64 {
+	var sxy, sxx, syy, sx, sy float64
+	n := 0
+	for i := 0; i < chips; i++ {
+		c := MustNewChip(cfg, master, i)
+		// Sample several point pairs per chip.
+		pts := master.SubN("corr", i)
+		for j := 0; j < 16; j++ {
+			x := pts.Float64() * (cfg.DieSizeUm - dist)
+			y := pts.Float64() * cfg.DieSizeUm
+			a := c.SystematicAt(x, y)
+			b := c.SystematicAt(x+dist, y)
+			sx += a
+			sy += b
+			sxx += a * a
+			syy += b * b
+			sxy += a * b
+			n++
+		}
+	}
+	fn := float64(n)
+	cov := sxy/fn - (sx/fn)*(sy/fn)
+	va := sxx/fn - (sx/fn)*(sx/fn)
+	vb := syy/fn - (sy/fn)*(sy/fn)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,209 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"pufatt/internal/netlist"
+	"pufatt/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	master := rng.New(1)
+	bad := []Config{
+		{Levels: 0, DieSizeUm: 100, SigmaTotal: 0.01, SystematicFrac: 0.5},
+		{Levels: 13, DieSizeUm: 100, SigmaTotal: 0.01, SystematicFrac: 0.5},
+		{Levels: 4, DieSizeUm: 0, SigmaTotal: 0.01, SystematicFrac: 0.5},
+		{Levels: 4, DieSizeUm: 100, SigmaTotal: -1, SystematicFrac: 0.5},
+		{Levels: 4, DieSizeUm: 100, SigmaTotal: 0.01, SystematicFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewChip(cfg, master, 0); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewChip(DefaultConfig(0.0466), master, 0); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestChipDeterminism(t *testing.T) {
+	cfg := DefaultConfig(0.05)
+	a := MustNewChip(cfg, rng.New(99), 3)
+	b := MustNewChip(cfg, rng.New(99), 3)
+	for i := 0; i < 50; i++ {
+		x := float64(i) * 37.0
+		y := float64(i) * 13.0
+		if a.SystematicAt(x, y) != b.SystematicAt(x, y) {
+			t.Fatalf("chips from same seed/id differ at (%v,%v)", x, y)
+		}
+	}
+}
+
+func TestChipsAreDistinct(t *testing.T) {
+	cfg := DefaultConfig(0.05)
+	master := rng.New(99)
+	a := MustNewChip(cfg, master, 0)
+	b := MustNewChip(cfg, master, 1)
+	same := 0
+	for i := 0; i < 20; i++ {
+		x, y := float64(i)*91.0, float64(i)*53.0
+		if a.SystematicAt(x, y) == b.SystematicAt(x, y) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/20 identical field samples on different chips", same)
+	}
+}
+
+func TestSystematicFieldIsPiecewiseConstantWithinFinestCell(t *testing.T) {
+	cfg := Config{Levels: 3, DieSizeUm: 800, SigmaTotal: 0.05, SystematicFrac: 1}
+	c := MustNewChip(cfg, rng.New(5), 0)
+	// Finest cell is 100 µm; two points 10 µm apart in the same cell must
+	// see the identical systematic value.
+	a := c.SystematicAt(110, 110)
+	b := c.SystematicAt(120, 115)
+	if a != b {
+		t.Errorf("same-cell values differ: %v vs %v", a, b)
+	}
+}
+
+func TestFieldVarianceMatchesBudget(t *testing.T) {
+	cfg := DefaultConfig(0.05)
+	master := rng.New(7)
+	var sum, sum2 float64
+	n := 0
+	for id := 0; id < 200; id++ {
+		c := MustNewChip(cfg, master, id)
+		pts := master.SubN("pts", id)
+		for j := 0; j < 20; j++ {
+			v := c.SystematicAt(pts.Float64()*cfg.DieSizeUm, pts.Float64()*cfg.DieSizeUm)
+			sum += v
+			sum2 += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	want := cfg.SigmaTotal * cfg.SigmaTotal * cfg.SystematicFrac
+	if math.Abs(variance-want)/want > 0.15 {
+		t.Errorf("systematic variance = %v, want ~%v", variance, want)
+	}
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("systematic mean = %v, want ~0", mean)
+	}
+}
+
+func TestSpatialCorrelationDecaysWithDistance(t *testing.T) {
+	cfg := DefaultConfig(0.05)
+	master := rng.New(11)
+	near := CorrelationAtDistance(cfg, master, 10, 120)
+	far := CorrelationAtDistance(cfg, master, 1500, 120)
+	if near < 0.5 {
+		t.Errorf("correlation at 10 µm = %v, want strong (>0.5)", near)
+	}
+	if far > near-0.2 {
+		t.Errorf("correlation did not decay: near=%v far=%v", near, far)
+	}
+}
+
+func TestVthOffsets(t *testing.T) {
+	cfg := DefaultConfig(0.0466)
+	c := MustNewChip(cfg, rng.New(21), 0)
+	nl := netlist.BuildRCANetlist(16)
+	off := c.VthOffsets(nl, 100, 100)
+	if len(off) != len(nl.Gates) {
+		t.Fatalf("offsets length %d, want %d", len(off), len(nl.Gates))
+	}
+	var s, s2 float64
+	n := 0
+	for g := range nl.Gates {
+		switch nl.Gates[g].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			if off[g] != 0 {
+				t.Errorf("pseudo-gate %d has nonzero offset %v", g, off[g])
+			}
+		default:
+			s += off[g]
+			s2 += off[g] * off[g]
+			n++
+		}
+	}
+	// Per-gate total sigma should be in the ballpark of SigmaTotal. (The
+	// systematic part is shared across nearby gates so the per-chip sample
+	// variance underestimates; accept a wide band.)
+	sd := math.Sqrt(s2/float64(n) - (s/float64(n))*(s/float64(n)))
+	if sd < cfg.SigmaTotal*0.3 || sd > cfg.SigmaTotal*2.0 {
+		t.Errorf("per-gate offset sd = %v, sigma budget %v", sd, cfg.SigmaTotal)
+	}
+}
+
+func TestVthOffsetsReproducible(t *testing.T) {
+	cfg := DefaultConfig(0.0466)
+	nl := netlist.BuildRCANetlist(8)
+	a := MustNewChip(cfg, rng.New(33), 2).VthOffsets(nl, 50, 60)
+	b := MustNewChip(cfg, rng.New(33), 2).VthOffsets(nl, 50, 60)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offsets not reproducible at gate %d", i)
+		}
+	}
+}
+
+func TestVthOffsetsDifferentPlacementDiffers(t *testing.T) {
+	cfg := DefaultConfig(0.0466)
+	c := MustNewChip(cfg, rng.New(33), 2)
+	nl := netlist.BuildRCANetlist(8)
+	a := c.VthOffsets(nl, 0, 0)
+	b := c.VthOffsets(nl, 1500, 1500)
+	same := 0
+	for i := range a {
+		if a[i] != 0 && a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d gates identical across distant placements", same)
+	}
+}
+
+func TestAdjacentInstancesShareSystematicComponent(t *testing.T) {
+	// The paper's robustness argument: the two ALUs sit in close proximity,
+	// so their systematic variation is nearly common-mode. Verify that two
+	// instances 18 µm apart correlate far more than instances across the die.
+	cfg := Config{Levels: 6, DieSizeUm: 2000, SigmaTotal: 0.05, SystematicFrac: 1}
+	master := rng.New(44)
+	nl := netlist.BuildRCANetlist(8)
+	corrAt := func(dx float64) float64 {
+		var sxy, sxx, syy float64
+		for id := 0; id < 60; id++ {
+			c := MustNewChip(cfg, master, id)
+			a := c.VthOffsets(nl, 500, 500)
+			b := c.VthOffsets(nl, 500+dx, 500)
+			for g := range a {
+				sxy += a[g] * b[g]
+				sxx += a[g] * a[g]
+				syy += b[g] * b[g]
+			}
+		}
+		return sxy / math.Sqrt(sxx*syy)
+	}
+	near := corrAt(18)
+	far := corrAt(1400)
+	if near < 0.6 {
+		t.Errorf("adjacent-instance correlation = %v, want > 0.6", near)
+	}
+	if far >= near {
+		t.Errorf("correlation should decay: near=%v far=%v", near, far)
+	}
+}
+
+func TestMustNewChipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewChip did not panic on bad config")
+		}
+	}()
+	MustNewChip(Config{}, rng.New(1), 0)
+}

@@ -1,0 +1,139 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pufatt/internal/delay"
+	"pufatt/internal/netlist"
+	"pufatt/internal/sim"
+)
+
+func unitDelays(nl *netlist.Netlist) delay.Table {
+	t := delay.Table{Ps: make([]float64, len(nl.Gates))}
+	for g := range nl.Gates {
+		switch nl.Gates[g].Kind {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+		default:
+			t.Ps[g] = 10
+		}
+	}
+	return t
+}
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for n := 0; n < 500; n++ {
+		c := idCode(n)
+		if c == "" || seen[c] {
+			t.Fatalf("idCode(%d) = %q duplicate/empty", n, c)
+		}
+		for _, r := range c {
+			if r < 33 || r > 126 {
+				t.Fatalf("idCode(%d) contains non-printable %q", n, r)
+			}
+		}
+		seen[c] = true
+	}
+	if idCode(0) != "!" {
+		t.Errorf("idCode(0) = %q", idCode(0))
+	}
+}
+
+func TestCaptureFullAdderTrace(t *testing.T) {
+	nl := netlist.BuildFullAdderNetlist()
+	es := sim.NewEventSim(nl, unitDelays(nl))
+	var buf bytes.Buffer
+	from := []uint8{0, 0, 0}
+	to := []uint8{1, 1, 1}
+	if err := Capture(es, nl, from, to, "fulladder", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module fulladder $end",
+		"$var wire 1",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#0", // the input transitions at t=0
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Inputs a, b, cin flip at t=0; sum settles by 20 ps (two XOR levels).
+	if !strings.Contains(out, "#20") {
+		t.Errorf("VCD missing the settled-output timestamp:\n%s", out)
+	}
+	// The trace must contain value changes after the header.
+	body := out[strings.Index(out, "$end\n#"):]
+	if strings.Count(body, "\n") < 6 {
+		t.Errorf("trace suspiciously short:\n%s", body)
+	}
+}
+
+func TestCapturePUFDatapathRace(t *testing.T) {
+	// Dump one PUF query's race on a small datapath and check both ALUs'
+	// outputs appear with distinct timestamps.
+	dp := netlist.BuildPUFDatapath(netlist.PUFDatapathConfig{Width: 4})
+	nl := dp.Net
+	tab := unitDelays(nl)
+	// Make ALU1 slightly slower so the race is visible in the trace.
+	for g := range nl.Gates {
+		if g > nl.Outputs[0] {
+			tab.Ps[g] *= 1.25
+		}
+	}
+	es := sim.NewEventSim(nl, tab)
+	var buf bytes.Buffer
+	from := make([]uint8, 8)
+	to := []uint8{1, 1, 1, 1, 1, 0, 0, 0} // a=0xF, b=0x1: full carry chain
+	if err := Capture(es, nl, from, to, "pufrace", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "o(0)") || !strings.Contains(out, "op(0)") {
+		t.Errorf("output names missing from trace:\n%s", out[:400])
+	}
+	// Multiple distinct timestamps = an actual race, not a single step.
+	if strings.Count(out, "#") < 4 {
+		t.Errorf("expected a multi-step race, got:\n%s", out)
+	}
+}
+
+func TestWriterTracksSelectedGatesOnly(t *testing.T) {
+	nl := netlist.BuildFullAdderNetlist()
+	var buf bytes.Buffer
+	w := New(&buf, nl, []int{nl.Outputs[0]})
+	if err := w.Header("sel", nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Transition(nl.Outputs[0], 5, 1)
+	w.Transition(nl.Inputs[0], 6, 1) // untracked: must not appear
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "$var") != 1 {
+		t.Errorf("expected exactly one declared signal:\n%s", out)
+	}
+	if !strings.Contains(out, "#5") || strings.Contains(out, "#6") {
+		t.Errorf("tracking filter wrong:\n%s", out)
+	}
+}
+
+func TestHeaderInitialValues(t *testing.T) {
+	nl := netlist.BuildFullAdderNetlist()
+	var buf bytes.Buffer
+	w := New(&buf, nl, nil)
+	vals := nl.Evaluate([]uint8{1, 0, 0})
+	if err := w.Header("init", vals); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if strings.Contains(buf.String(), "x") && strings.Contains(buf.String(), "$dumpvars\nx") {
+		t.Error("initial values should be concrete, not x")
+	}
+}

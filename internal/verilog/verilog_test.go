@@ -1,0 +1,212 @@
+package verilog
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pufatt/internal/netlist"
+)
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"a[3]":  "a_3",
+		"o'[0]": "op_0",
+		"co'":   "cop",
+		"3net":  "n3net",
+		"":      "n",
+		"x y":   "x_y",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmitFullAdder(t *testing.T) {
+	nl := netlist.BuildFullAdderNetlist()
+	var buf bytes.Buffer
+	if err := Emit(&buf, nl, "fa"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module fa (",
+		"input wire a",
+		"input wire b",
+		"input wire cin",
+		"output wire sum",
+		"output wire cout",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Five logic gates → five assigns.
+	if n := strings.Count(out, "assign "); n != 5 {
+		t.Errorf("%d assigns, want 5:\n%s", n, out)
+	}
+}
+
+// evalVerilog interprets the emitted structural Verilog (the restricted
+// subset this package produces) and cross-checks it against the netlist's
+// own evaluation — a semantics round trip without an external simulator.
+func evalVerilog(t *testing.T, src string, inputs map[string]uint8, output string) uint8 {
+	t.Helper()
+	vals := map[string]uint8{}
+	for k, v := range inputs {
+		vals[k] = v
+	}
+	assignRe := regexp.MustCompile(`assign (\S+) = (.*);`)
+	for _, line := range strings.Split(src, "\n") {
+		m := assignRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		vals[m[1]] = evalExpr(t, m[2], vals)
+	}
+	v, ok := vals[output]
+	if !ok {
+		t.Fatalf("output %q never assigned", output)
+	}
+	return v
+}
+
+func evalExpr(t *testing.T, expr string, vals map[string]uint8) uint8 {
+	t.Helper()
+	expr = strings.TrimSpace(expr)
+	neg := false
+	if strings.HasPrefix(expr, "~(") && strings.HasSuffix(expr, ")") {
+		neg = true
+		expr = expr[2 : len(expr)-1]
+	} else if strings.HasPrefix(expr, "~") {
+		neg = true
+		expr = expr[1:]
+	}
+	var op string
+	for _, cand := range []string{" & ", " | ", " ^ "} {
+		if strings.Contains(expr, cand) {
+			op = cand
+			break
+		}
+	}
+	term := func(s string) uint8 {
+		s = strings.TrimSpace(s)
+		switch s {
+		case "1'b0":
+			return 0
+		case "1'b1":
+			return 1
+		}
+		v, ok := vals[s]
+		if !ok {
+			t.Fatalf("undefined net %q", s)
+		}
+		return v
+	}
+	var v uint8
+	if op == "" {
+		v = term(expr)
+	} else {
+		parts := strings.Split(expr, op)
+		v = term(parts[0])
+		for _, p := range parts[1:] {
+			switch op {
+			case " & ":
+				v &= term(p)
+			case " | ":
+				v |= term(p)
+			case " ^ ":
+				v ^= term(p)
+			}
+		}
+	}
+	if neg {
+		v ^= 1
+	}
+	return v
+}
+
+func TestEmittedRCASemantics(t *testing.T) {
+	const width = 6
+	nl := netlist.BuildRCANetlist(width)
+	var buf bytes.Buffer
+	if err := Emit(&buf, nl, "rca"); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for a := uint64(0); a < 64; a += 7 {
+		for b := uint64(0); b < 64; b += 11 {
+			inputs := map[string]uint8{"cin": 0}
+			for i := 0; i < width; i++ {
+				inputs[fmt.Sprintf("a_%d", i)] = uint8(a >> uint(i) & 1)
+				inputs[fmt.Sprintf("b_%d", i)] = uint8(b >> uint(i) & 1)
+			}
+			var sum uint64
+			for i := 0; i < width; i++ {
+				sum |= uint64(evalVerilog(t, src, inputs, fmt.Sprintf("sum_%d", i))) << uint(i)
+			}
+			cout := evalVerilog(t, src, inputs, "cout")
+			total := a + b
+			if sum != total&63 || cout != uint8(total>>width) {
+				t.Fatalf("verilog RCA(%d,%d) = (%d,%d), want (%d,%d)",
+					a, b, sum, cout, total&63, total>>width)
+			}
+		}
+	}
+}
+
+func TestEmitPUFTop(t *testing.T) {
+	dp := netlist.BuildPUFDatapath(netlist.PUFDatapathConfig{Width: 4})
+	var buf bytes.Buffer
+	if err := EmitPUFTop(&buf, dp, "alupuf"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module alupuf (",
+		"input wire clk",
+		"input wire pstart",
+		"input wire [3:0] chal_a",
+		"output reg [3:0] response",
+		"alupuf_core core (",
+		"module alupuf_core (",
+		".o_0(o0[0])",
+		"posedge o1[i]",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Two modules exactly.
+	if n := strings.Count(out, "endmodule"); n != 2 {
+		t.Errorf("%d endmodules, want 2", n)
+	}
+	// The core's output ports must match the wrapper's instantiation.
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(out, fmt.Sprintf("output wire o_%d", i)) {
+			t.Errorf("core missing output o_%d", i)
+		}
+		if !strings.Contains(out, fmt.Sprintf("output wire op_%d", i)) {
+			t.Errorf("core missing output op_%d", i)
+		}
+	}
+	if !strings.Contains(out, "output wire cop") {
+		t.Error("core missing carry-out pair")
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	nl := netlist.BuildRCANetlist(4)
+	var a, b bytes.Buffer
+	Emit(&a, nl, "m")
+	Emit(&b, nl, "m")
+	if a.String() != b.String() {
+		t.Error("emission not deterministic")
+	}
+}
