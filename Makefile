@@ -1,0 +1,23 @@
+# Makefile — developer entry points. `make verify` is the full gate:
+# tier-1 build+tests, vet, and the race-detected fault-injection suite.
+
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The attestation robustness tests (drop/corrupt/truncate/delay/duplicate
+# fault classes, retry, quarantine) under the race detector.
+race:
+	$(GO) test -race ./internal/attest/...
+
+verify:
+	./scripts/verify.sh

@@ -11,13 +11,22 @@
 //
 // Prover and verifier must agree on -seed/-chip (the manufactured device
 // and its enrolled model) and the attestation parameters.
+//
+// Robustness controls: the verifier retries transport faults with
+// exponential backoff (-retries, -attempt-timeout); a rejected verdict is
+// never retried. The deterministic fault injector (-fault-drop,
+// -fault-corrupt, -fault-truncate, -fault-delay, -fault-dup, under
+// -fault-seed) mangles the verifier's frames so the recovery machinery can
+// be demonstrated against a live prover service.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"pufatt/internal/attest"
 	"pufatt/internal/core"
@@ -38,6 +47,18 @@ func main() {
 		blocks   = flag.Int("blocks", 16, "blocks per chunk")
 		memWords = flag.Int("mem", 4096, "attested words (power of two)")
 		infect   = flag.Bool("infect", false, "tamper the prover's memory (should be rejected)")
+
+		retries     = flag.Int("retries", 4, "transport-fault attempt budget per session")
+		attemptTO   = flag.Duration("attempt-timeout", 2*time.Second, "per-attempt I/O deadline")
+		serveTO     = flag.Duration("serve-timeout", time.Minute, "prover per-exchange idle deadline")
+		faultDrop   = flag.Float64("fault-drop", 0, "probability of dropping a frame")
+		faultCorr   = flag.Float64("fault-corrupt", 0, "probability of flipping a bit in a frame")
+		faultTrunc  = flag.Float64("fault-truncate", 0, "probability of truncating a frame")
+		faultDelay  = flag.Float64("fault-delay", 0, "probability of delaying a frame")
+		faultDup    = flag.Float64("fault-dup", 0, "probability of duplicating a frame")
+		faultDelayS = flag.Float64("fault-delay-secs", 0.5, "injected delay per delay fault (seconds)")
+		faultMax    = flag.Int("max-faults", 0, "stop injecting after N faults (0 = forever)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault schedule seed")
 	)
 	flag.Parse()
 
@@ -62,6 +83,16 @@ func main() {
 		fmt.Println("prover memory tampered: 64 payload words flipped")
 	}
 
+	plan := attest.FaultPlan{
+		Drop: *faultDrop, Corrupt: *faultCorr, Truncate: *faultTrunc,
+		Delay: *faultDelay, Duplicate: *faultDup,
+		DelaySeconds: *faultDelayS, MaxFaults: *faultMax,
+	}
+	faulty := plan.Drop > 0 || plan.Corrupt > 0 || plan.Truncate > 0 || plan.Delay > 0 || plan.Duplicate > 0
+	policy := attest.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	policy.AttemptTimeout = *attemptTO
+
 	newVerifier := func() *attest.Verifier {
 		v, err := attest.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
 		check(err)
@@ -74,27 +105,48 @@ func main() {
 		link := attest.DefaultLink()
 		fmt.Printf("device: chip %d, clock %.1f MHz, δ = %.4fs, link %s\n",
 			dev.ChipID(), prover.FreqHz/1e6, v.Delta(), link)
+		var agent attest.ProverAgent = prover
+		if faulty {
+			agent = attest.NewFaultyLink(prover, plan, *faultSeed)
+			fmt.Printf("lossy link: %+v (seed %d)\n", plan, *faultSeed)
+		}
 		for i := 0; i < *sessions; i++ {
-			res, err := attest.RunSession(v, prover, link)
+			res, attempts, err := attest.RunSessionRetry(v, agent, link, policy)
 			check(err)
-			report(i, res)
+			report(i, attempts, res)
 		}
 	case "prove":
-		addr, closeLn, err := attest.ListenAndServe(*listen, prover)
+		srv := &attest.Server{
+			Agent:   prover,
+			Timeout: *serveTO,
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "pufatt-attest: prover:", err) },
+		}
+		addr, err := srv.Start(*listen)
 		check(err)
-		defer closeLn()
+		defer srv.Close()
 		fmt.Printf("prover (chip %d, %.1f MHz) listening on %s\n", dev.ChipID(), prover.FreqHz/1e6, addr)
 		select {} // serve forever
 	case "verify":
 		v := newVerifier()
-		conn, err := net.Dial("tcp", *connect)
-		check(err)
-		defer conn.Close()
-		fmt.Printf("verifier connected to %s, δ = %.4fs\n", *connect, v.Delta())
+		inj := attest.NewFaultInjector(plan, *faultSeed)
+		dial := func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", *connect)
+			if err != nil {
+				return nil, err
+			}
+			if faulty {
+				return inj.Wrap(conn), nil
+			}
+			return conn, nil
+		}
+		fmt.Printf("verifier targeting %s, δ = %.4fs, %d attempt(s)/session\n", *connect, v.Delta(), policy.MaxAttempts)
 		for i := 0; i < *sessions; i++ {
-			res, err := attest.Request(conn, v, attest.DefaultLink())
+			res, attempts, err := attest.RequestWithRetry(context.Background(), dial, v, attest.DefaultLink(), policy)
 			check(err)
-			report(i, res)
+			report(i, attempts, res)
+		}
+		if faulty {
+			fmt.Printf("faults injected: %v\n", inj.Counts())
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "pufatt-attest: unknown mode %q\n", *mode)
@@ -102,12 +154,13 @@ func main() {
 	}
 }
 
-func report(i int, res attest.Result) {
+func report(i, attempts int, res attest.Result) {
 	verdict := "REJECTED"
 	if res.Accepted {
 		verdict = "accepted"
 	}
-	fmt.Printf("session %d: %s (elapsed %.4fs, δ %.4fs) %s\n", i+1, verdict, res.Elapsed, res.Delta, res.Reason)
+	fmt.Printf("session %d: %s in %d attempt(s) (elapsed %.4fs, δ %.4fs) %s\n",
+		i+1, verdict, attempts, res.Elapsed, res.Delta, res.Reason)
 }
 
 func check(err error) {

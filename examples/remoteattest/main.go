@@ -3,12 +3,21 @@
 // it repeatedly, and also demonstrates that an impersonating device (a
 // different chip of the same design, running identical software) is
 // rejected because its PUF cannot produce the enrolled chip's responses.
+//
+// The last act attests across a *lossy* link: a deterministic fault
+// injector corrupts and drops frames, the CRC-validated codec detects the
+// damage, and the verifier's retry policy (exponential backoff, seeded
+// jitter, fresh connection per attempt) recovers — while the impostor's
+// REJECTED verdict is never retried, because a rejection is a decision,
+// not a fault.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"pufatt"
 
@@ -92,4 +101,40 @@ func main() {
 	attestOver("genuine ", genuineAddr, 3)
 	fmt.Println("attesting the impostor device at", impostorAddr)
 	attestOver("impostor", impostorAddr, 2)
+
+	// The same attestation across a lossy channel: the injector mangles
+	// roughly every other frame (deterministically, from a seed) until it
+	// has landed three faults; the retry policy redials through them.
+	fmt.Println("\nattesting the genuine device over a lossy link (drop/corrupt, seeded)")
+	policy := pufatt.DefaultRetryPolicy()
+	policy.MaxAttempts = 6
+	policy.AttemptTimeout = 500 * time.Millisecond
+	inj := pufatt.NewFaultInjector(pufatt.FaultPlan{Drop: 0.5, Corrupt: 0.5, MaxFaults: 3}, 7)
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", genuineAddr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(conn), nil
+	}
+	res, attempts, err := attest.RequestWithRetry(context.Background(), dial, verifier, link, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recovered: accepted=%v after %d attempt(s), %d fault(s) injected %v\n",
+		res.Accepted, attempts, inj.Injected(), inj.Counts())
+
+	// A rejection must not be retried: re-challenging a forger would give
+	// it fresh chances. One attempt, verdict final.
+	fmt.Println("attesting the impostor with the same retry policy")
+	impostorDials := 0
+	res, attempts, err = attest.RequestWithRetry(context.Background(), func() (net.Conn, error) {
+		impostorDials++
+		return net.Dial("tcp", impostorAddr)
+	}, verifier, link, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verdict: accepted=%v — %d attempt(s), %d dial(s): the rejection was final\n",
+		res.Accepted, attempts, impostorDials)
 }

@@ -1,8 +1,12 @@
 // Sensor-network fleet attestation: the motivating deployment of the
 // paper's introduction. A base station (verifier) holds the emulation model
-// of every enrolled node; it periodically sweeps the fleet, and a node whose
-// firmware was modified in the field is pinpointed — without any per-node
-// cryptographic keys or secure hardware.
+// of every enrolled node; it periodically sweeps the fleet over lossy
+// radio links, and the degradation report keeps the two failure regimes
+// apart: a node whose firmware was modified is COMPROMISED (the verifier
+// completed a session and rejected it), while a node whose link is down is
+// UNREACHABLE (no verdict — the sweep retried and gave up). Nodes that
+// stay unreachable sweep after sweep are quarantined by a per-node circuit
+// breaker so a dead region cannot consume the sweep's retry budget forever.
 package main
 
 import (
@@ -12,7 +16,7 @@ import (
 	"pufatt"
 )
 
-const fleetSize = 6
+const fleetSize = 8
 
 type node struct {
 	id     int
@@ -37,7 +41,9 @@ func main() {
 
 	// Manufacture and enroll the fleet. Every node runs the SAME firmware
 	// image; only the silicon differs — and that difference is the
-	// authentication anchor.
+	// authentication anchor. Node 5's radio link is flaky (drops ~half its
+	// frames, transiently) and node 6's is dead: the fault-injection
+	// harness models both deterministically.
 	fleet := pufatt.NewFleet()
 	var nodes []*node
 	link := pufatt.DefaultLink()
@@ -57,30 +63,52 @@ func main() {
 			log.Fatal(err)
 		}
 		v.AllowNetwork(link)
-		if err := fleet.Enroll(id, v, prover); err != nil {
+		var agent pufatt.ProverAgent = prover
+		switch id {
+		case 5: // flaky link: two dropped frames, then clean
+			agent = pufatt.NewFaultyLink(prover, pufatt.FaultPlan{Drop: 1, MaxFaults: 2}, 42)
+		case 6: // dead link: drops everything, forever
+			agent = pufatt.NewFaultyLink(prover, pufatt.FaultPlan{Drop: 1}, 43)
+		}
+		if err := fleet.Enroll(id, v, agent); err != nil {
 			log.Fatal(err)
 		}
 		nodes = append(nodes, &node{id: id, prover: prover, port: port})
 	}
-	fmt.Printf("enrolled %d nodes (emulation models extracted at manufacturing)\n\n", fleet.Size())
+	fmt.Printf("enrolled %d nodes (emulation models extracted at manufacturing)\n", fleet.Size())
+	fmt.Println("node 5: flaky radio (transient), node 6: dead radio (persistent)")
+	fmt.Println()
 
+	opts := pufatt.DefaultSweepOptions() // bounded concurrency, 3 attempts/node
 	sweep := func(tag string) {
 		fmt.Printf("fleet sweep (%s):\n", tag)
-		results := fleet.Sweep(link)
-		for _, r := range results {
-			status := "OK      "
-			if !r.Healthy() {
+		report := fleet.SweepWithOptions(link, opts)
+		for _, r := range report.Results {
+			status := "OK         "
+			switch {
+			case r.Compromised():
 				status = "COMPROMISED"
+			case r.Attempts == 0:
+				status = "QUARANTINED"
+			case r.Unreachable():
+				status = "UNREACHABLE"
 			}
-			fmt.Printf("  node %d: %s (%.1f ms)\n", r.NodeID, status, r.Result.Elapsed*1e3)
+			fmt.Printf("  node %d: %s (%d attempt(s), %.1f ms)\n",
+				r.NodeID, status, r.Attempts, r.Result.Elapsed*1e3)
 		}
-		if bad := pufatt.Compromised(results); bad != nil {
-			fmt.Printf("  -> compromised nodes: %v\n", bad)
+		if len(report.Compromised) > 0 {
+			fmt.Printf("  -> compromised (verifier REJECTED — security event): %v\n", report.Compromised)
+		}
+		if len(report.Unreachable) > 0 {
+			fmt.Printf("  -> unreachable (transport exhausted — no verdict):   %v\n", report.Unreachable)
+		}
+		if len(report.Quarantined) > 0 {
+			fmt.Printf("  -> quarantined by circuit breaker: %v\n", report.Quarantined)
 		}
 		fmt.Println()
 	}
 
-	sweep("all nodes healthy")
+	sweep("all firmware intact; node 5 recovers via retries")
 
 	// Node 3 is compromised in the field: 48 firmware words patched.
 	victim := nodes[3]
@@ -88,7 +116,7 @@ func main() {
 		victim.prover.Image.Mem[image.Layout.PayloadAddr+40+i] ^= 0xA5A5
 	}
 	fmt.Println("node 3 firmware patched by an attacker...")
-	sweep("after compromise")
+	sweep("after compromise — note node 3 ≠ node 6 in the report")
 
 	// The attacker 'cleans up' — restores the firmware. Attestation
 	// recovers, showing the sweep is a live integrity check, not a fuse.
@@ -97,4 +125,8 @@ func main() {
 	}
 	fmt.Println("node 3 firmware restored...")
 	sweep("after restoration")
+
+	// Node 6 has now been unreachable for three sweeps: the circuit
+	// breaker opens and later sweeps only probe it.
+	sweep("node 6 quarantined")
 }

@@ -185,13 +185,29 @@ type (
 	Fleet = attest.Fleet
 	// NodeResult is one node's sweep outcome.
 	NodeResult = attest.NodeResult
+	// SweepOptions tunes a fleet sweep (concurrency, retry budget,
+	// quarantine probing).
+	SweepOptions = attest.SweepOptions
+	// SweepReport classifies a sweep's nodes into healthy, compromised
+	// (verifier rejected), unreachable (transport exhausted), and
+	// quarantined.
+	SweepReport = attest.SweepReport
 )
 
 // NewFleet returns an empty device fleet.
 func NewFleet() *Fleet { return attest.NewFleet() }
 
-// Compromised filters a sweep's results down to the failing node ids.
+// DefaultSweepOptions returns the bounded-concurrency sweep defaults.
+func DefaultSweepOptions() SweepOptions { return attest.DefaultSweepOptions() }
+
+// Compromised filters a sweep's results down to the nodes the verifier
+// REJECTED — the security failures. Nodes that could not be reached at all
+// are reported by Unreachable instead.
 func Compromised(results []NodeResult) []int { return attest.Compromised(results) }
+
+// Unreachable filters a sweep's results down to the nodes whose transport
+// budget was exhausted — availability failures with no integrity verdict.
+func Unreachable(results []NodeResult) []int { return attest.Unreachable(results) }
 
 // ServeProver answers attestation challenges on a TCP address; the returned
 // function closes the listener.
@@ -201,4 +217,62 @@ func ServeProver(addr string, agent attest.ProverAgent) (string, func() error, e
 		return "", nil, err
 	}
 	return a.String(), closeFn, nil
+}
+
+// Fault tolerance: transport hardening, retry policy, and the
+// deterministic fault-injection harness.
+type (
+	// ProverAgent is anything that can answer an attestation challenge:
+	// the honest device, an adversary, or a FaultyLink-wrapped agent.
+	ProverAgent = attest.ProverAgent
+	// AttestServer is the supervised TCP prover service (error surfacing,
+	// per-exchange deadlines, deterministic drain-on-close).
+	AttestServer = attest.Server
+	// RetryPolicy is the verifier-side transport-fault retry budget with
+	// exponential backoff and seeded jitter.
+	RetryPolicy = attest.RetryPolicy
+	// FaultPlan sets per-frame fault probabilities for injection.
+	FaultPlan = attest.FaultPlan
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = attest.FaultClass
+	// FaultInjector owns a deterministic fault schedule spanning
+	// connections.
+	FaultInjector = attest.FaultInjector
+	// FaultyConn injects frame-granular faults into a byte stream.
+	FaultyConn = attest.FaultyConn
+	// FaultyLink injects faults into an in-memory prover agent's last hop.
+	FaultyLink = attest.FaultyLink
+)
+
+// Injectable fault classes.
+const (
+	FaultDrop      = attest.FaultDrop
+	FaultCorrupt   = attest.FaultCorrupt
+	FaultTruncate  = attest.FaultTruncate
+	FaultDelay     = attest.FaultDelay
+	FaultDuplicate = attest.FaultDuplicate
+)
+
+// DefaultRetryPolicy returns the TCP verifier retry defaults.
+func DefaultRetryPolicy() RetryPolicy { return attest.DefaultRetryPolicy() }
+
+// NewFaultInjector creates a deterministic fault schedule from a seed.
+func NewFaultInjector(plan FaultPlan, seed uint64) *FaultInjector {
+	return attest.NewFaultInjector(plan, seed)
+}
+
+// NewFaultyLink wraps an agent with a lossy simulated last hop.
+func NewFaultyLink(agent attest.ProverAgent, plan FaultPlan, seed uint64) *FaultyLink {
+	return attest.NewFaultyLink(agent, plan, seed)
+}
+
+// IsTransport reports whether an attestation error is a retryable channel
+// fault (as opposed to a device failure or a user abort; a verifier
+// rejection is never an error at all).
+func IsTransport(err error) bool { return attest.IsTransport(err) }
+
+// RunSessionRetry attests over the simulated link with a transport-fault
+// retry budget; a verdict — accepted or rejected — is never retried.
+func RunSessionRetry(v *Verifier, agent attest.ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
+	return attest.RunSessionRetry(v, agent, link, policy)
 }

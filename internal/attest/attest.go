@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"pufatt/internal/core"
@@ -69,27 +70,110 @@ func (r Response) Bits() int {
 	return (8+32)*8 + len(r.Helpers)*HelperBitsPerWord + 32
 }
 
-// --- binary codec (length-prefixed frames over an io stream) ---
+// --- binary codec (validated frames over an io stream) ---
+//
+// Every protocol message travels in a self-describing frame built for a
+// lossy, adversarial channel:
+//
+//	offset 0  magic    uint16 LE (frameMagic)
+//	offset 2  version  byte      (frameVersion)
+//	offset 3  type     byte      (frameChallenge | frameResponse | frameTime)
+//	offset 4  length   uint32 LE (body bytes, bounded by maxFrame)
+//	offset 8  crc32    uint32 LE (IEEE, over the body)
+//	offset 12 body
+//
+// The magic/version pair rejects cross-protocol and cross-version traffic
+// before any allocation, the length bound defeats hostile prefixes, the
+// type byte catches reordered or duplicated frames, and the CRC detects
+// in-flight corruption (it is an integrity check against faults, not a MAC
+// — authenticity comes from the PUF response itself).
 
-// ErrFrameTooLarge guards the decoder against hostile length prefixes.
-var ErrFrameTooLarge = errors.New("attest: frame exceeds limit")
+// Frame validation errors. All of them are transport-class faults: they say
+// the channel mangled a frame, not that the prover failed attestation.
+var (
+	// ErrFrameTooLarge guards the decoder against hostile length prefixes.
+	ErrFrameTooLarge = errors.New("attest: frame exceeds limit")
+	// ErrBadMagic means the stream does not carry this protocol.
+	ErrBadMagic = errors.New("attest: bad frame magic")
+	// ErrBadVersion means the peer speaks an unknown protocol revision.
+	ErrBadVersion = errors.New("attest: unsupported frame version")
+	// ErrFrameType means a frame of the wrong type arrived (reordered or
+	// duplicated traffic).
+	ErrFrameType = errors.New("attest: unexpected frame type")
+	// ErrChecksum means the frame body failed its CRC32 integrity check.
+	ErrChecksum = errors.New("attest: frame checksum mismatch")
+)
 
-const maxFrame = 1 << 22
+const (
+	frameMagic   uint16 = 0xA77E
+	frameVersion byte   = 1
+	headerSize          = 12
+	maxFrame            = 1 << 22
 
-// WriteChallenge encodes a challenge frame.
-func WriteChallenge(w io.Writer, c Challenge) error {
-	buf := make([]byte, 4+8+4+4)
-	binary.LittleEndian.PutUint32(buf[0:], 16)
-	binary.LittleEndian.PutUint64(buf[4:], c.Session)
-	binary.LittleEndian.PutUint32(buf[12:], c.Nonce)
-	binary.LittleEndian.PutUint32(buf[16:], c.PUFSeed)
+	frameChallenge byte = 0x01
+	frameResponse  byte = 0x02
+	frameTime      byte = 0x03
+)
+
+// writeFrame emits one validated frame in a single Write call, so stream
+// fault injectors (FaultyConn) can drop/corrupt/duplicate at frame
+// granularity.
+func writeFrame(w io.Writer, ftype byte, body []byte) error {
+	if len(body) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, headerSize+len(body))
+	binary.LittleEndian.PutUint16(buf[0:], frameMagic)
+	buf[2] = frameVersion
+	buf[3] = ftype
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
+	copy(buf[headerSize:], body)
 	_, err := w.Write(buf)
 	return err
 }
 
+// readFrame decodes and validates one frame of the wanted type.
+func readFrame(r io.Reader, want byte) ([]byte, error) {
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint16(head[0:]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if head[2] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+	}
+	if head[3] != want {
+		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrFrameType, head[3], want)
+	}
+	n := binary.LittleEndian.Uint32(head[4:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(head[8:]) {
+		return nil, ErrChecksum
+	}
+	return body, nil
+}
+
+// WriteChallenge encodes a challenge frame.
+func WriteChallenge(w io.Writer, c Challenge) error {
+	body := make([]byte, 16)
+	binary.LittleEndian.PutUint64(body[0:], c.Session)
+	binary.LittleEndian.PutUint32(body[8:], c.Nonce)
+	binary.LittleEndian.PutUint32(body[12:], c.PUFSeed)
+	return writeFrame(w, frameChallenge, body)
+}
+
 // ReadChallenge decodes a challenge frame.
 func ReadChallenge(r io.Reader) (Challenge, error) {
-	body, err := readFrame(r)
+	body, err := readFrame(r, frameChallenge)
 	if err != nil {
 		return Challenge{}, err
 	}
@@ -114,18 +198,12 @@ func WriteResponse(w io.Writer, resp Response) error {
 	for i, h := range resp.Helpers {
 		binary.LittleEndian.PutUint64(body[44+8*i:], h)
 	}
-	head := make([]byte, 4)
-	binary.LittleEndian.PutUint32(head, uint32(len(body)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
-	return err
+	return writeFrame(w, frameResponse, body)
 }
 
 // ReadResponse decodes a response frame.
 func ReadResponse(r io.Reader) (Response, error) {
-	body, err := readFrame(r)
+	body, err := readFrame(r, frameResponse)
 	if err != nil {
 		return Response{}, err
 	}
@@ -146,20 +224,4 @@ func ReadResponse(r io.Reader) (Response, error) {
 		resp.Helpers[i] = binary.LittleEndian.Uint64(body[44+8*i:])
 	}
 	return resp, nil
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	head := make([]byte, 4)
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(head)
-	if n > maxFrame {
-		return nil, ErrFrameTooLarge
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
-	return body, nil
 }

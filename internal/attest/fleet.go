@@ -3,71 +3,303 @@ package attest
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Fleet manages attestation for a population of enrolled devices — the
 // sensor-network deployment the paper's introduction motivates. Each node
 // is enrolled with its own verifier (emulation model or CRP database); a
-// sweep attests every node and reports the compromised ones.
+// sweep attests every node over its (possibly lossy) link and produces a
+// degradation report that keeps the two failure regimes apart:
+//
+//   - compromised — the verifier completed a session and REJECTED it. A
+//     security event. Never retried (see RetryPolicy).
+//   - unreachable — every transport attempt failed; the verifier learned
+//     nothing about the node's integrity. An availability event.
+//
+// Nodes that are unreachable sweep after sweep trip a per-node circuit
+// breaker: they are quarantined and skipped (reported, not attested) until
+// a probe succeeds or the operator reinstates them, so a dead region of the
+// network cannot consume the whole sweep's retry budget forever.
 type Fleet struct {
+	// QuarantineThreshold is the number of consecutive unreachable sweeps
+	// after which a node is quarantined (0 disables quarantine).
+	QuarantineThreshold int
+
+	mu        sync.Mutex
 	verifiers map[int]*Verifier
 	agents    map[int]ProverAgent
+	health    map[int]*nodeHealth
 }
 
-// NewFleet returns an empty fleet.
+// nodeHealth is the per-node circuit-breaker state.
+type nodeHealth struct {
+	consecutiveUnreachable int
+	quarantined            bool
+}
+
+// DefaultQuarantineThreshold is the consecutive-unreachable-sweep count at
+// which a fresh fleet quarantines a node.
+const DefaultQuarantineThreshold = 3
+
+// NewFleet returns an empty fleet with the default quarantine threshold.
 func NewFleet() *Fleet {
 	return &Fleet{
-		verifiers: make(map[int]*Verifier),
-		agents:    make(map[int]ProverAgent),
+		QuarantineThreshold: DefaultQuarantineThreshold,
+		verifiers:           make(map[int]*Verifier),
+		agents:              make(map[int]ProverAgent),
+		health:              make(map[int]*nodeHealth),
 	}
 }
 
 // Enroll registers a node's verifier and its prover agent under a node id.
+// Wrap the agent in a FaultyLink to model a lossy last hop.
 func (f *Fleet) Enroll(nodeID int, v *Verifier, agent ProverAgent) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, dup := f.verifiers[nodeID]; dup {
 		return fmt.Errorf("attest: node %d already enrolled", nodeID)
 	}
 	f.verifiers[nodeID] = v
 	f.agents[nodeID] = agent
+	f.health[nodeID] = &nodeHealth{}
 	return nil
 }
 
 // Size returns the number of enrolled nodes.
-func (f *Fleet) Size() int { return len(f.verifiers) }
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.verifiers)
+}
+
+// Quarantined returns the currently quarantined node ids, ascending.
+func (f *Fleet) Quarantined() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ids []int
+	for id, h := range f.health {
+		if h.quarantined {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Reinstate clears a node's quarantine and failure history (an operator
+// decision: the node was serviced, attest it normally again).
+func (f *Fleet) Reinstate(nodeID int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.health[nodeID]; ok {
+		h.quarantined = false
+		h.consecutiveUnreachable = 0
+	}
+}
 
 // NodeResult is one node's sweep outcome.
 type NodeResult struct {
 	NodeID int
 	Result Result
-	Err    error
+	// Err is the terminal error when no session completed (transport
+	// budget exhausted, quarantine skip, or an agent-internal failure).
+	Err error
+	// Attempts is the number of sessions tried (0 for a quarantine skip).
+	Attempts int
 }
 
 // Healthy reports whether the node attested successfully.
 func (r NodeResult) Healthy() bool { return r.Err == nil && r.Result.Accepted }
 
-// Sweep attests every enrolled node over the link, in ascending node-id
-// order, and returns all results.
+// Compromised reports a completed-and-rejected session: the verifier's
+// verdict that the node failed attestation.
+func (r NodeResult) Compromised() bool { return r.Err == nil && !r.Result.Accepted }
+
+// Unreachable reports that no session completed: the transport budget was
+// exhausted (or the node sat in quarantine), so the verifier learned
+// nothing about the node's integrity this sweep.
+func (r NodeResult) Unreachable() bool { return r.Err != nil }
+
+// SweepOptions tunes a fleet sweep.
+type SweepOptions struct {
+	// Concurrency bounds the number of nodes attested at once (<=0 means
+	// DefaultSweepConcurrency). Sweeps must finish in bounded time on a
+	// million-node fleet without stampeding the base station, hence a
+	// worker pool rather than either extreme.
+	Concurrency int
+	// Retry is each node's transport-fault budget. The zero value means a
+	// single attempt, no backoff.
+	Retry RetryPolicy
+	// ProbeQuarantined sends quarantined nodes one half-open probe (a
+	// single attempt, no retries). A node whose probe succeeds leaves
+	// quarantine with its verdict recorded; a failed probe keeps it
+	// quarantined. When false, quarantined nodes are skipped outright.
+	ProbeQuarantined bool
+}
+
+// DefaultSweepConcurrency bounds a sweep that did not choose its own width.
+const DefaultSweepConcurrency = 8
+
+// DefaultSweepOptions returns the sweep configuration used by Sweep: a
+// bounded worker pool, three attempts per node with no backoff sleeping
+// (the fleet path runs on the simulated clock), and half-open probing.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{
+		Concurrency:      DefaultSweepConcurrency,
+		Retry:            RetryPolicy{MaxAttempts: 3},
+		ProbeQuarantined: true,
+	}
+}
+
+// SweepReport is the outcome of one fleet sweep, with node ids classified
+// by regime (each list ascending; Healthy ∪ Compromised ∪ Unreachable ∪
+// Quarantined covers every enrolled node exactly once — quarantined nodes
+// that were probed are classified by their probe outcome instead).
+type SweepReport struct {
+	Results []NodeResult // ascending node id
+	// Healthy nodes attested and were accepted.
+	Healthy []int
+	// Compromised nodes completed a session and were rejected.
+	Compromised []int
+	// Unreachable nodes exhausted their transport budget.
+	Unreachable []int
+	// Quarantined nodes were skipped (circuit breaker open, not probed or
+	// probe failed).
+	Quarantined []int
+}
+
+// String summarises the report.
+func (r SweepReport) String() string {
+	return fmt.Sprintf("sweep: %d nodes, %d healthy, %d compromised, %d unreachable, %d quarantined",
+		len(r.Results), len(r.Healthy), len(r.Compromised), len(r.Unreachable), len(r.Quarantined))
+}
+
+// Sweep attests every enrolled node with the default sweep options and
+// returns the per-node results in ascending node-id order.
 func (f *Fleet) Sweep(link Link) []NodeResult {
+	return f.SweepWithOptions(link, DefaultSweepOptions()).Results
+}
+
+// SweepWithOptions attests every enrolled node over the link with bounded
+// concurrency and per-node retry budgets, updates the quarantine state, and
+// classifies the outcome.
+func (f *Fleet) SweepWithOptions(link Link, opts SweepOptions) SweepReport {
+	f.mu.Lock()
 	ids := make([]int, 0, len(f.verifiers))
 	for id := range f.verifiers {
 		ids = append(ids, id)
 	}
+	f.mu.Unlock()
 	sort.Ints(ids)
-	out := make([]NodeResult, 0, len(ids))
-	for _, id := range ids {
-		res, err := RunSession(f.verifiers[id], f.agents[id], link)
-		out = append(out, NodeResult{NodeID: id, Result: res, Err: err})
+
+	width := opts.Concurrency
+	if width <= 0 {
+		width = DefaultSweepConcurrency
+	}
+	if width > len(ids) {
+		width = len(ids)
+	}
+
+	results := make([]NodeResult, len(ids))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = f.attestNode(ids[i], link, opts)
+			}
+		}()
+	}
+	for i := range ids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	report := SweepReport{Results: results}
+	for _, r := range results {
+		switch {
+		case r.Healthy():
+			report.Healthy = append(report.Healthy, r.NodeID)
+		case r.Compromised():
+			report.Compromised = append(report.Compromised, r.NodeID)
+		case r.Attempts == 0:
+			report.Quarantined = append(report.Quarantined, r.NodeID)
+		default:
+			report.Unreachable = append(report.Unreachable, r.NodeID)
+		}
+	}
+	return report
+}
+
+// attestNode runs one node's sweep step: quarantine gate, retried session,
+// circuit-breaker bookkeeping.
+func (f *Fleet) attestNode(id int, link Link, opts SweepOptions) NodeResult {
+	f.mu.Lock()
+	v := f.verifiers[id]
+	agent := f.agents[id]
+	h := f.health[id]
+	quarantined := h.quarantined
+	f.mu.Unlock()
+
+	policy := opts.Retry
+	if quarantined {
+		if !opts.ProbeQuarantined {
+			return NodeResult{NodeID: id, Err: fmt.Errorf("%w (skipped)", ErrQuarantined)}
+		}
+		policy = RetryPolicy{MaxAttempts: 1} // half-open: one probe, no retries
+	}
+
+	res, attempts, err := RunSessionRetry(v, agent, link, policy)
+	out := NodeResult{NodeID: id, Result: res, Err: err, Attempts: attempts}
+	if quarantined && err != nil {
+		// Probe failed: stay quarantined, and report the cause.
+		out.Err = fmt.Errorf("%w: probe failed: %v", ErrQuarantined, err)
+		out.Attempts = 0
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case err == nil:
+		// A completed session — whatever the verdict — proves the node
+		// reachable: reset the breaker.
+		h.consecutiveUnreachable = 0
+		h.quarantined = false
+	case IsTransport(err) && !quarantined:
+		h.consecutiveUnreachable++
+		if f.QuarantineThreshold > 0 && h.consecutiveUnreachable >= f.QuarantineThreshold {
+			h.quarantined = true
+		}
 	}
 	return out
 }
 
-// Compromised returns the node ids that failed the last sweep's results.
+// Compromised returns the node ids whose sweep completed and was rejected
+// by the verifier — the security failures. Transport failures are NOT
+// included; see Unreachable.
 func Compromised(results []NodeResult) []int {
 	var bad []int
 	for _, r := range results {
-		if !r.Healthy() {
+		if r.Compromised() {
 			bad = append(bad, r.NodeID)
 		}
 	}
 	return bad
+}
+
+// Unreachable returns the node ids whose sweep never completed a session —
+// the availability failures, about which the verifier has no integrity
+// verdict either way.
+func Unreachable(results []NodeResult) []int {
+	var out []int
+	for _, r := range results {
+		if r.Unreachable() {
+			out = append(out, r.NodeID)
+		}
+	}
+	return out
 }

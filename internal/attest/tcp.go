@@ -1,12 +1,15 @@
 package attest
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"sync"
+	"time"
 )
 
 // This file carries the protocol over a real byte stream (net.Conn), for
@@ -21,6 +24,18 @@ import (
 // computation, so the measurement is exactly as trustworthy as a wall clock
 // over a real device — it is produced by the physics model, not chosen by
 // the adversary's code.
+//
+// The trailer is nonetheless adversary-influenced wire input and is
+// validated like any other frame: it travels CRC-protected, and its value
+// must be a finite, non-negative float. Without that check a hostile
+// prover could ship NaN — which compares false against every bound, so
+// `elapsed > δ` would never trigger — and bypass the timing decision
+// entirely.
+
+// ErrBadTime reports a compute-time trailer whose value is NaN, infinite,
+// or negative — adversarial or mangled input that must not reach the
+// verifier's timing comparison.
+var ErrBadTime = errors.New("attest: invalid compute-time trailer")
 
 // Serve answers attestation challenges on the stream until EOF. Each
 // exchange is: challenge frame in, response frame + time trailer out.
@@ -46,62 +61,331 @@ func Serve(conn io.ReadWriter, agent ProverAgent) error {
 	}
 }
 
+// ServeContext is Serve bound to a context: when ctx is cancelled or its
+// deadline passes, the connection deadline fires and Serve returns.
+func ServeContext(ctx context.Context, conn net.Conn, agent ProverAgent) error {
+	stop := guardConn(ctx, conn)
+	defer stop()
+	err := Serve(conn, agent)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
 // Request performs one attestation over the stream from the verifier side,
 // using link to model the constrained last hop.
 func Request(conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
+	return RequestContext(context.Background(), conn, v, link)
+}
+
+// RequestContext performs one attestation with a context governing the
+// exchange: if conn is a net.Conn, the context's deadline is applied to it
+// and cancellation aborts in-flight reads. A session that completes yields
+// a verdict; every other failure mode is a transport fault.
+func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
+	if nc, ok := conn.(net.Conn); ok {
+		stop := guardConn(ctx, nc)
+		defer stop()
+	}
 	ch, err := v.NewSession()
 	if err != nil {
 		return Result{}, err
 	}
 	if err := WriteChallenge(conn, ch); err != nil {
-		return Result{}, err
+		return Result{}, ctxErr(ctx, err)
 	}
 	resp, err := ReadResponse(conn)
 	if err != nil {
-		return Result{}, err
+		return Result{}, ctxErr(ctx, err)
+	}
+	if resp.Session != ch.Session {
+		// A well-formed response for a *different* session is a stream
+		// desync (a duplicated or replayed frame still in flight), not a
+		// prover verdict: classify it as transport so the retry path
+		// redials onto a clean stream.
+		return Result{}, Transport(fmt.Errorf("%w: response for session %d, want %d",
+			ErrStaleFrame, resp.Session, ch.Session))
 	}
 	compute, err := readTime(conn)
 	if err != nil {
-		return Result{}, err
+		return Result{}, ctxErr(ctx, err)
 	}
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
 	return v.Verify(ch, resp, elapsed), nil
 }
 
-// ListenAndServe runs a prover service on the TCP address until the
-// listener is closed; each connection is served on its own goroutine.
-// The returned function closes the listener.
-func ListenAndServe(addr string, agent ProverAgent) (net.Addr, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go func() {
-				defer conn.Close()
-				_ = Serve(conn, agent)
-			}()
+// RequestWithRetry attests with the given retry policy, dialing a fresh
+// connection per attempt (a faulted stream cannot be trusted to be in frame
+// sync, so retries never reuse it). Only transport faults consume the
+// budget; a verdict — accepted or rejected — is returned on the attempt
+// that produced it and is never retried. It reports the verdict, the number
+// of attempts, and the terminal error if the budget was exhausted.
+func RequestWithRetry(ctx context.Context, dial func() (net.Conn, error), v *Verifier, link Link, policy RetryPolicy) (Result, int, error) {
+	var res Result
+	attempts, err := policy.Do(func(int) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
-	}()
-	return ln.Addr(), ln.Close, nil
+		attemptCtx, cancel := ctx, func() {}
+		if policy.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
+		}
+		defer cancel()
+		conn, err := dial()
+		if err != nil {
+			return Transport(err)
+		}
+		defer conn.Close()
+		var opErr error
+		res, opErr = RequestContext(attemptCtx, conn, v, link)
+		if opErr != nil && ctx.Err() == nil && attemptCtx.Err() != nil {
+			// The per-attempt deadline fired, not the caller's context:
+			// report it as a link timeout so the budget logic retries.
+			return Transport(fmt.Errorf("%w: attempt timed out after %v", ErrLinkTimeout, policy.AttemptTimeout))
+		}
+		return opErr
+	})
+	return res, attempts, err
 }
 
-func writeTime(w io.Writer, seconds float64) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(seconds))
-	_, err := w.Write(buf[:])
+// ctxErr prefers the context's error over the I/O error it induced.
+func ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
 	return err
 }
 
+// guardConn binds a connection to a context: it applies the context
+// deadline and, on cancellation, forces in-flight I/O to fail by expiring
+// the connection deadline. The returned stop function releases the watcher
+// (it does not close the connection).
+func guardConn(ctx context.Context, conn net.Conn) (stop func()) {
+	if d, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(d)
+	}
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Unix(1, 0)) // long past: abort I/O now
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Server runs a prover service over TCP. Unlike the bare ListenAndServe
+// helper it predates, it surfaces accept and per-connection faults through
+// OnError instead of discarding them, applies a per-exchange I/O deadline,
+// and shuts down deterministically: Close stops the listener, unblocks
+// every in-flight connection, and waits for all handlers to drain before
+// returning.
+type Server struct {
+	// Agent answers the challenges.
+	Agent ProverAgent
+	// Timeout bounds each connection's I/O between exchanges (0 = none).
+	Timeout time.Duration
+	// OnError observes accept and per-connection serve faults (it is never
+	// called for clean EOF or for the server's own shutdown). It may be
+	// called concurrently; nil discards.
+	OnError func(error)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Start listens on the TCP address and begins serving in the background.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	if s.Agent == nil {
+		return nil, errors.New("attest: Server without Agent")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, net.ErrClosed
+	}
+	s.ln = ln
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !s.isClosed() {
+				s.report(fmt.Errorf("attest: accept: %w", err))
+			}
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs the exchange loop with the per-exchange deadline.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		if s.Timeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(s.Timeout))
+		}
+		ch, err := ReadChallenge(conn)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			if !s.isClosed() {
+				s.report(fmt.Errorf("attest: serve: %w", err))
+			}
+			return
+		}
+		resp, compute, err := s.Agent.Respond(ch)
+		if err != nil {
+			s.report(fmt.Errorf("attest: serve respond: %w", err))
+			return
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			s.report(err)
+			return
+		}
+		if err := writeTime(conn, compute); err != nil {
+			s.report(err)
+			return
+		}
+	}
+}
+
+// Close shuts the server down deterministically: no new connections are
+// accepted, in-flight connections are unblocked and drained, and Close
+// returns only after every handler goroutine has exited.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	var open []net.Conn
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range open {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) report(err error) {
+	if s.OnError != nil {
+		s.OnError(err)
+	}
+}
+
+// ListenAndServe runs a prover service on the TCP address until the
+// returned close function is called; each connection is served on its own
+// goroutine. It is the fire-and-forget form of Server (errors discarded);
+// services that need fault visibility or timeouts should use Server.
+func ListenAndServe(addr string, agent ProverAgent) (net.Addr, func() error, error) {
+	srv := &Server{Agent: agent}
+	a, err := srv.Start(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, srv.Close, nil
+}
+
+// writeTime emits the compute-time trailer frame. The value is validated on
+// the way out too: an honest simulator never produces a non-finite time, so
+// failing fast here beats a confusing rejection at the peer.
+func writeTime(w io.Writer, seconds float64) error {
+	if err := validTime(seconds); err != nil {
+		return err
+	}
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], math.Float64bits(seconds))
+	return writeFrame(w, frameTime, body[:])
+}
+
+// readTime decodes and validates the compute-time trailer. Any float64 bit
+// pattern can arrive off the wire; only finite, non-negative values may
+// reach the timing decision.
 func readTime(r io.Reader) (float64, error) {
-	var buf [8]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	body, err := readFrame(r, frameTime)
+	if err != nil {
 		return 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: trailer of %d bytes", ErrBadTime, len(body))
+	}
+	seconds := math.Float64frombits(binary.LittleEndian.Uint64(body))
+	if err := validTime(seconds); err != nil {
+		return 0, err
+	}
+	return seconds, nil
+}
+
+// validTime rejects NaN, infinite, and negative compute times.
+func validTime(seconds float64) error {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 {
+		return fmt.Errorf("%w: %v", ErrBadTime, seconds)
+	}
+	return nil
 }

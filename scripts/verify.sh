@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repository's verification gate.
+#
+# Runs the tier-1 commands (build + full test suite), static vetting, and
+# the race-detected attestation robustness tests (which exercise every
+# injected fault class: drop, corrupt, truncate, delay, duplicate).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/attest/... (fault-injection suite)"
+go test -race ./internal/attest/...
+
+echo "verify: OK"
