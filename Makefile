@@ -1,9 +1,10 @@
 # Makefile — developer entry points. `make verify` is the full gate:
-# tier-1 build+tests, vet, and the race-detected fault-injection suite.
+# gofmt, tier-1 build+tests, vet, and the race-detected fault-injection
+# suite. `make bench` snapshots the root benchmarks into BENCH_PR2.json.
 
 GO ?= go
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race verify bench
 
 build:
 	$(GO) build ./...
@@ -21,3 +22,9 @@ race:
 
 verify:
 	./scripts/verify.sh
+
+# Run the facade benchmarks once each and record them as JSON for
+# cross-PR comparison.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./scripts/benchjson > BENCH_PR2.json
+	@cat BENCH_PR2.json

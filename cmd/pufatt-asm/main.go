@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/core"
 	"pufatt/internal/mcu"
 	"pufatt/internal/rng"
@@ -28,7 +29,9 @@ func main() {
 		freq     = flag.Float64("freq", 100e6, "clock frequency for -run (Hz)")
 		seed     = flag.Uint64("seed", 1, "device seed for the PUF port")
 	)
+	version := buildinfo.VersionFlags("pufatt-asm")
 	flag.Parse()
+	version()
 
 	if *gen {
 		src, err := swatt.GenerateProgram(swatt.DefaultParams())

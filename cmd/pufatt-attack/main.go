@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/experiments"
 )
 
@@ -19,7 +20,9 @@ func main() {
 		games  = flag.Bool("games", false, "also run the game-based soundness experiments")
 		trials = flag.Int("trials", 25, "trials per strategy for -games")
 	)
+	version := buildinfo.VersionFlags("pufatt-attack")
 	flag.Parse()
+	version()
 	cfg := experiments.DefaultSecurityConfig(*seed)
 	if *fast {
 		cfg.MLTrain = 1000

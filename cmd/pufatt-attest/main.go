@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"pufatt/internal/attest"
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/core"
 	"pufatt/internal/mcu"
 	"pufatt/internal/rng"
@@ -59,8 +60,21 @@ func main() {
 		faultDelayS = flag.Float64("fault-delay-secs", 0.5, "injected delay per delay fault (seconds)")
 		faultMax    = flag.Int("max-faults", 0, "stop injecting after N faults (0 = forever)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault schedule seed")
+		faultLog    = flag.Bool("fault-log", false, "emit one JSON line per injected fault to stderr")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve /metrics, /debug/vars, /debug/traces, and /debug/pprof on this address (empty = disabled)")
 	)
+	version := buildinfo.VersionFlags("pufatt-attest")
 	flag.Parse()
+	version()
+
+	if *metricsAddr != "" {
+		addr, stopAdmin, err := attest.StartAdmin(*metricsAddr, nil)
+		check(err)
+		defer stopAdmin()
+		fmt.Printf("telemetry: http://%s/metrics\n", addr)
+	}
 
 	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
 	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)
@@ -107,7 +121,11 @@ func main() {
 			dev.ChipID(), prover.FreqHz/1e6, v.Delta(), link)
 		var agent attest.ProverAgent = prover
 		if faulty {
-			agent = attest.NewFaultyLink(prover, plan, *faultSeed)
+			fl := attest.NewFaultyLink(prover, plan, *faultSeed)
+			if *faultLog {
+				fl.SetLog(os.Stderr)
+			}
+			agent = fl
 			fmt.Printf("lossy link: %+v (seed %d)\n", plan, *faultSeed)
 		}
 		for i := 0; i < *sessions; i++ {
@@ -129,6 +147,9 @@ func main() {
 	case "verify":
 		v := newVerifier()
 		inj := attest.NewFaultInjector(plan, *faultSeed)
+		if *faultLog {
+			inj.SetLog(os.Stderr)
+		}
 		dial := func() (net.Conn, error) {
 			conn, err := net.Dial("tcp", *connect)
 			if err != nil {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/core"
 	"pufatt/internal/experiments"
 	"pufatt/internal/fpga"
@@ -28,7 +29,9 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "experiment seed")
 		hist  = flag.Bool("hist", false, "print full histograms")
 	)
+	version := buildinfo.VersionFlags("pufatt-eval")
 	flag.Parse()
+	version()
 	run := func(name string, fn func() (string, error)) {
 		if *exp != "all" && *exp != name {
 			return

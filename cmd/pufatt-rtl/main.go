@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/netlist"
 	"pufatt/internal/verilog"
 )
@@ -27,7 +28,9 @@ func main() {
 		module = flag.String("module", "alupuf", "top module name")
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
+	version := buildinfo.VersionFlags("pufatt-rtl")
 	flag.Parse()
+	version()
 
 	kind := netlist.AdderRCA
 	switch *adder {

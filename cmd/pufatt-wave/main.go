@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/core"
 	"pufatt/internal/rng"
 	"pufatt/internal/sim"
@@ -28,7 +29,9 @@ func main() {
 		challenge = flag.Uint64("challenge", 42, "challenge seed")
 		out       = flag.String("o", "race.vcd", "output VCD file")
 	)
+	version := buildinfo.VersionFlags("pufatt-wave")
 	flag.Parse()
+	version()
 
 	cfg := core.DefaultConfig()
 	cfg.Width = *width

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -82,7 +83,7 @@ func main() {
 	opts := pufatt.DefaultSweepOptions() // bounded concurrency, 3 attempts/node
 	sweep := func(tag string) {
 		fmt.Printf("fleet sweep (%s):\n", tag)
-		report := fleet.SweepWithOptions(link, opts)
+		report := fleet.SweepWithOptions(context.Background(), link, opts)
 		for _, r := range report.Results {
 			status := "OK         "
 			switch {

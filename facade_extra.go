@@ -3,11 +3,13 @@ package pufatt
 import (
 	"pufatt/internal/attacks"
 	"pufatt/internal/attest"
+	"pufatt/internal/buildinfo"
 	"pufatt/internal/fpga"
 	"pufatt/internal/mcu"
 	"pufatt/internal/rng"
 	"pufatt/internal/slender"
 	"pufatt/internal/swatt"
+	"pufatt/internal/telemetry"
 )
 
 // This file extends the facade with the FPGA-prototype and adversary
@@ -275,4 +277,47 @@ func IsTransport(err error) bool { return attest.IsTransport(err) }
 // retry budget; a verdict — accepted or rejected — is never retried.
 func RunSessionRetry(v *Verifier, agent attest.ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
 	return attest.RunSessionRetry(v, agent, link, policy)
+}
+
+// Observability: telemetry instruments, attestation tracing, and the HTTP
+// admin surface.
+type (
+	// AttestTelemetry bundles the attestation layer's metric instruments
+	// over one registry (see DESIGN.md "Observability").
+	AttestTelemetry = attest.Telemetry
+	// SweepStats is one fleet sweep's aggregate telemetry (attempts,
+	// retries, probes, quarantine transitions, RTT summary, elapsed).
+	SweepStats = attest.SweepStats
+	// FaultEvent is the one-line JSON record emitted per injected fault.
+	FaultEvent = attest.FaultEvent
+	// MetricsRegistry holds named metric families and renders them as
+	// Prometheus text exposition or expvar-style JSON.
+	MetricsRegistry = telemetry.Registry
+	// Tracer records recent attestation span trees in a ring buffer.
+	Tracer = telemetry.Tracer
+	// BuildInfo identifies a built pufatt tool (version, VCS revision).
+	BuildInfo = buildinfo.Info
+)
+
+// AttestMetrics returns the attestation layer's package-default telemetry:
+// the instruments every session, retry, sweep, and injected fault records
+// into, served by the admin endpoint.
+func AttestMetrics() *AttestTelemetry { return attest.Metrics() }
+
+// DefaultMetrics returns the process-wide metric registry shared by every
+// instrumented layer (attest, sim, crp, obfuscate, PUF pipeline).
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
+
+// DefaultTracer returns the process-wide attestation tracer.
+func DefaultTracer() *Tracer { return telemetry.DefaultTracer() }
+
+// StartAdmin serves /metrics, /debug/vars, /debug/traces, and
+// /debug/pprof on the TCP address (":0" picks a free port); nil telemetry
+// means the package default. The returned function stops the listener.
+func StartAdmin(addr string, t *AttestTelemetry) (string, func() error, error) {
+	a, closeFn, err := attest.StartAdmin(addr, t)
+	if err != nil {
+		return "", nil, err
+	}
+	return a.String(), closeFn, nil
 }

@@ -1,0 +1,89 @@
+package attest
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// This file exposes the attestation stack's operational surface over HTTP:
+// Prometheus metrics, expvar-style JSON, recent attestation traces, and the
+// runtime profiler. The endpoint is strictly opt-in — nothing listens until
+// StartAdmin is called — and is meant for a loopback or management network,
+// not the attestation data path.
+
+// AdminMux returns an http.ServeMux serving the telemetry admin surface:
+//
+//	/metrics       Prometheus text exposition (format 0.0.4)
+//	/debug/vars    expvar-style JSON of every registered metric
+//	/debug/traces  recent attestation span trees as JSON
+//	/debug/pprof/  the standard runtime profiler endpoints
+//
+// A nil Telemetry means the package default (the one the attestation hot
+// paths record into).
+func AdminMux(t *Telemetry) *http.ServeMux {
+	if t == nil {
+		t = tel
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Tracer.WriteJSON(w)
+	})
+	// pprof registers on http.DefaultServeMux via init; re-register its
+	// handlers explicitly so the admin endpoint works on a private mux
+	// without dragging DefaultServeMux (and whatever else registered
+	// there) onto a network listener.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartAdmin serves the admin mux on the TCP address (":0" picks a free
+// port) and returns the bound address plus a close function that stops the
+// listener and aborts in-flight requests. A nil Telemetry serves the
+// package default.
+func StartAdmin(addr string, t *Telemetry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: AdminMux(t)}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			_ = serr // listener closed under us: nothing useful to do
+		}
+	}()
+	return ln.Addr(), srv.Close, nil
+}
+
+// StartAdmin attaches an admin endpoint to the prover server's lifecycle:
+// it serves the package-default telemetry on addr and is shut down by
+// Server.Close along with the attestation listener.
+func (s *Server) StartAdmin(addr string) (net.Addr, error) {
+	a, closeFn, err := StartAdmin(addr, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = closeFn()
+		return nil, net.ErrClosed
+	}
+	s.adminClose = closeFn
+	s.mu.Unlock()
+	return a, nil
+}

@@ -130,6 +130,9 @@ func writeFrame(w io.Writer, ftype byte, body []byte) error {
 	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
 	copy(buf[headerSize:], body)
 	_, err := w.Write(buf)
+	if err == nil {
+		tel.FramesSent.With(frameTypeName(ftype)).Inc()
+	}
 	return err
 }
 
@@ -137,28 +140,40 @@ func writeFrame(w io.Writer, ftype byte, body []byte) error {
 func readFrame(r io.Reader, want byte) ([]byte, error) {
 	head := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, head); err != nil {
+		// A clean EOF before any header byte is end-of-stream, not a
+		// mangled frame; everything else is a transport rejection.
+		if err != io.EOF {
+			tel.FramesRejected.With("io").Inc()
+		}
 		return nil, err
 	}
 	if binary.LittleEndian.Uint16(head[0:]) != frameMagic {
+		tel.FramesRejected.With("magic").Inc()
 		return nil, ErrBadMagic
 	}
 	if head[2] != frameVersion {
+		tel.FramesRejected.With("version").Inc()
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
 	}
 	if head[3] != want {
+		tel.FramesRejected.With("type").Inc()
 		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrFrameType, head[3], want)
 	}
 	n := binary.LittleEndian.Uint32(head[4:])
 	if n > maxFrame {
+		tel.FramesRejected.With("length").Inc()
 		return nil, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		tel.FramesRejected.With("io").Inc()
 		return nil, err
 	}
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(head[8:]) {
+		tel.FramesRejected.With("checksum").Inc()
 		return nil, ErrChecksum
 	}
+	tel.FramesReceived.With(frameTypeName(want)).Inc()
 	return body, nil
 }
 

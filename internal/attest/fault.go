@@ -2,6 +2,7 @@ package attest
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -118,17 +119,42 @@ func PlanFor(c FaultClass, delaySeconds float64, maxFaults int) FaultPlan {
 	return p
 }
 
+// FaultEvent is the structured record emitted for every injected fault:
+// one line of JSON naming the fault class, the schedule seed, and the
+// 0-based frame index at which it fired. A fault-injection run is therefore
+// replayable from its logs alone — the (seed, frame) pairs pin the entire
+// schedule.
+type FaultEvent struct {
+	Event string `json:"event"` // always "fault_injected"
+	Class string `json:"class"`
+	Seed  uint64 `json:"seed"`
+	Frame int    `json:"frame"`
+	Total int    `json:"total"` // faults injected so far under this schedule
+}
+
 // faultState is the shared draw/accounting core of both injectors.
 type faultState struct {
 	mu       sync.Mutex
 	plan     FaultPlan
 	src      *rng.Source
+	seed     uint64
+	frames   int // frames drawn for so far (the event's frame index)
 	injected int
 	counts   [numFaultClasses]int
+	log      io.Writer
 }
 
 func newFaultState(plan FaultPlan, seed uint64) *faultState {
-	return &faultState{plan: plan, src: rng.New(seed).Sub("faults")}
+	return &faultState{plan: plan, src: rng.New(seed).Sub("faults"), seed: seed}
+}
+
+// SetLog directs one-line JSON FaultEvent records to w on every injected
+// fault (nil disables, the default). The method is promoted to FaultyConn
+// and FaultyLink; injectors sharing one schedule share the sink.
+func (s *faultState) SetLog(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = w
 }
 
 // draw decides the fault (if any) for the next frame. The RNG consumes one
@@ -137,6 +163,8 @@ func newFaultState(plan FaultPlan, seed uint64) *faultState {
 func (s *faultState) draw() (FaultClass, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	frame := s.frames
+	s.frames++
 	if s.plan.MaxFaults > 0 && s.injected >= s.plan.MaxFaults {
 		return 0, false
 	}
@@ -154,6 +182,17 @@ func (s *faultState) draw() (FaultClass, bool) {
 	if hit {
 		s.injected++
 		s.counts[class]++
+		tel.FaultsInjected.With(class.String()).Inc()
+		if s.log != nil {
+			line, err := json.Marshal(FaultEvent{
+				Event: "fault_injected", Class: class.String(),
+				Seed: s.seed, Frame: frame, Total: s.injected,
+			})
+			if err == nil {
+				line = append(line, '\n')
+				s.log.Write(line) //nolint:errcheck // best-effort logging
+			}
+		}
 	}
 	return class, hit
 }
@@ -202,6 +241,10 @@ func (fi *FaultInjector) WrapAgent(agent ProverAgent) *FaultyLink {
 
 // Counts reports how many faults of each class have been injected so far.
 func (fi *FaultInjector) Counts() map[FaultClass]int { return fi.state.Counts() }
+
+// SetLog directs one-line JSON FaultEvent records to w on every injected
+// fault across all conns and agents sharing this schedule (nil disables).
+func (fi *FaultInjector) SetLog(w io.Writer) { fi.state.SetLog(w) }
 
 // Injected reports the total number of injected faults so far.
 func (fi *FaultInjector) Injected() int { return fi.state.Injected() }

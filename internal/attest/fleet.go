@@ -1,9 +1,12 @@
 package attest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Fleet manages attestation for a population of enrolled devices — the
@@ -25,6 +28,12 @@ type Fleet struct {
 	// QuarantineThreshold is the number of consecutive unreachable sweeps
 	// after which a node is quarantined (0 disables quarantine).
 	QuarantineThreshold int
+
+	// Telemetry receives the fleet's metrics (sweep outcomes, quarantine
+	// transitions, the open-quarantine gauge). Nil means the package
+	// default registry, which the admin endpoint serves; tests install a
+	// private Telemetry to assert exact counts.
+	Telemetry *Telemetry
 
 	mu        sync.Mutex
 	verifiers map[int]*Verifier
@@ -50,6 +59,15 @@ func NewFleet() *Fleet {
 		agents:              make(map[int]ProverAgent),
 		health:              make(map[int]*nodeHealth),
 	}
+}
+
+// telemetry returns the fleet's metric sink (the package default when the
+// Telemetry field is nil).
+func (f *Fleet) telemetry() *Telemetry {
+	if f.Telemetry != nil {
+		return f.Telemetry
+	}
+	return tel
 }
 
 // Enroll registers a node's verifier and its prover agent under a node id.
@@ -92,10 +110,17 @@ func (f *Fleet) Quarantined() []int {
 func (f *Fleet) Reinstate(nodeID int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if h, ok := f.health[nodeID]; ok {
-		h.quarantined = false
-		h.consecutiveUnreachable = 0
+	h, ok := f.health[nodeID]
+	if !ok {
+		return
 	}
+	if h.quarantined {
+		T := f.telemetry()
+		T.QuarantineTransitions.With(transitionReinstate).Inc()
+		T.QuarantineOpen.Add(-1)
+	}
+	h.quarantined = false
+	h.consecutiveUnreachable = 0
 }
 
 // NodeResult is one node's sweep outcome.
@@ -103,7 +128,8 @@ type NodeResult struct {
 	NodeID int
 	Result Result
 	// Err is the terminal error when no session completed (transport
-	// budget exhausted, quarantine skip, or an agent-internal failure).
+	// budget exhausted, quarantine skip, sweep cancellation, or an
+	// agent-internal failure).
 	Err error
 	// Attempts is the number of sessions tried (0 for a quarantine skip).
 	Attempts int
@@ -152,10 +178,42 @@ func DefaultSweepOptions() SweepOptions {
 	}
 }
 
+// SweepStats aggregates one sweep's telemetry: the same numbers the metric
+// counters accumulate process-wide, scoped to a single sweep so operators
+// (and tests) can reason about one pass in isolation.
+type SweepStats struct {
+	// Attempts is the total number of attestation attempts across all
+	// nodes, including retries and half-open probes.
+	Attempts int
+	// Retries is the number of attempts beyond each node's first.
+	Retries int
+	// Probes is the number of half-open probes sent to quarantined nodes.
+	Probes int
+	// QuarantineEntered / QuarantineLifted count circuit-breaker
+	// transitions that happened during this sweep (Lifted counts probe
+	// successes only; operator Reinstate calls are outside any sweep).
+	QuarantineEntered int
+	QuarantineLifted  int
+	// Cancelled is the number of nodes abandoned because the sweep
+	// context ended before their session completed.
+	Cancelled int
+	// Sessions is the number of completed sessions (accepted or
+	// rejected); RTTMin/RTTMean/RTTMax summarise their verifier-observed
+	// round-trip times in seconds. All zero when no session completed.
+	Sessions int
+	RTTMin   float64
+	RTTMean  float64
+	RTTMax   float64
+	// Elapsed is the sweep's wall time on the telemetry tracer's clock
+	// (injectable, so tests assert on it without sleeping).
+	Elapsed time.Duration
+}
+
 // SweepReport is the outcome of one fleet sweep, with node ids classified
 // by regime (each list ascending; Healthy ∪ Compromised ∪ Unreachable ∪
 // Quarantined covers every enrolled node exactly once — quarantined nodes
-// that were probed are classified by their probe outcome instead).
+// that were probed are classified by their probe outcome instead, and
+// nodes abandoned by a cancelled sweep count as Unreachable).
 type SweepReport struct {
 	Results []NodeResult // ascending node id
 	// Healthy nodes attested and were accepted.
@@ -167,6 +225,8 @@ type SweepReport struct {
 	// Quarantined nodes were skipped (circuit breaker open, not probed or
 	// probe failed).
 	Quarantined []int
+	// Stats carries the sweep's aggregate telemetry.
+	Stats SweepStats
 }
 
 // String summarises the report.
@@ -175,16 +235,37 @@ func (r SweepReport) String() string {
 		len(r.Results), len(r.Healthy), len(r.Compromised), len(r.Unreachable), len(r.Quarantined))
 }
 
-// Sweep attests every enrolled node with the default sweep options and
-// returns the per-node results in ascending node-id order.
-func (f *Fleet) Sweep(link Link) []NodeResult {
-	return f.SweepWithOptions(link, DefaultSweepOptions()).Results
+// Sweep attests every enrolled node with the default sweep options. It is
+// a thin wrapper over SweepWithOptions with a background context.
+func (f *Fleet) Sweep(link Link) SweepReport {
+	return f.SweepWithOptions(context.Background(), link, DefaultSweepOptions())
+}
+
+// nodeOutcome carries one node's result plus the bookkeeping the sweep
+// aggregates into SweepStats (raw attempt counts survive here even when
+// the reported NodeResult zeroes them, as a failed probe does).
+type nodeOutcome struct {
+	res       NodeResult
+	attempts  int
+	probe     bool
+	entered   bool
+	lifted    bool
+	cancelled bool
 }
 
 // SweepWithOptions attests every enrolled node over the link with bounded
 // concurrency and per-node retry budgets, updates the quarantine state, and
-// classifies the outcome.
-func (f *Fleet) SweepWithOptions(link Link, opts SweepOptions) SweepReport {
+// classifies the outcome. Cancelling ctx stops the sweep mid-flight: nodes
+// not yet attested are reported with ErrCancelled (classified unreachable,
+// counted in Stats.Cancelled) and their circuit breakers are left alone —
+// cancellation says nothing about a node's reachability.
+func (f *Fleet) SweepWithOptions(ctx context.Context, link Link, opts SweepOptions) SweepReport {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	T := f.telemetry()
+	start := T.Tracer.Now()
+
 	f.mu.Lock()
 	ids := make([]int, 0, len(f.verifiers))
 	for id := range f.verifiers {
@@ -201,7 +282,7 @@ func (f *Fleet) SweepWithOptions(link Link, opts SweepOptions) SweepReport {
 		width = len(ids)
 	}
 
-	results := make([]NodeResult, len(ids))
+	outcomes := make([]nodeOutcome, len(ids))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < width; w++ {
@@ -209,7 +290,14 @@ func (f *Fleet) SweepWithOptions(link Link, opts SweepOptions) SweepReport {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = f.attestNode(ids[i], link, opts)
+				if cerr := ctx.Err(); cerr != nil {
+					outcomes[i] = nodeOutcome{
+						res:       NodeResult{NodeID: ids[i], Err: fmt.Errorf("%w: %v", ErrCancelled, cerr)},
+						cancelled: true,
+					}
+					continue
+				}
+				outcomes[i] = f.attestNode(ctx, ids[i], link, opts)
 			}
 		}()
 	}
@@ -219,25 +307,66 @@ func (f *Fleet) SweepWithOptions(link Link, opts SweepOptions) SweepReport {
 	close(work)
 	wg.Wait()
 
-	report := SweepReport{Results: results}
-	for _, r := range results {
+	report := SweepReport{Results: make([]NodeResult, len(ids))}
+	stats := &report.Stats
+	var rttSum float64
+	for i, o := range outcomes {
+		r := o.res
+		report.Results[i] = r
+		stats.Attempts += o.attempts
+		if o.attempts > 1 {
+			stats.Retries += o.attempts - 1
+		}
+		if o.probe {
+			stats.Probes++
+		}
+		if o.entered {
+			stats.QuarantineEntered++
+		}
+		if o.lifted {
+			stats.QuarantineLifted++
+		}
+		if o.cancelled {
+			stats.Cancelled++
+		}
+		if r.Err == nil {
+			stats.Sessions++
+			rtt := r.Result.Elapsed
+			rttSum += rtt
+			if stats.Sessions == 1 || rtt < stats.RTTMin {
+				stats.RTTMin = rtt
+			}
+			if rtt > stats.RTTMax {
+				stats.RTTMax = rtt
+			}
+		}
 		switch {
 		case r.Healthy():
 			report.Healthy = append(report.Healthy, r.NodeID)
+			T.SweepNodes.With(outcomeHealthy).Inc()
 		case r.Compromised():
 			report.Compromised = append(report.Compromised, r.NodeID)
-		case r.Attempts == 0:
+			T.SweepNodes.With(outcomeCompromised).Inc()
+		case errors.Is(r.Err, ErrQuarantined):
 			report.Quarantined = append(report.Quarantined, r.NodeID)
+			T.SweepNodes.With(outcomeQuarantined).Inc()
 		default:
 			report.Unreachable = append(report.Unreachable, r.NodeID)
+			T.SweepNodes.With(outcomeUnreachable).Inc()
 		}
 	}
+	if stats.Sessions > 0 {
+		stats.RTTMean = rttSum / float64(stats.Sessions)
+	}
+	stats.Elapsed = T.Tracer.Now().Sub(start)
+	T.Sweeps.Inc()
+	T.SweepDuration.Observe(stats.Elapsed.Seconds())
 	return report
 }
 
 // attestNode runs one node's sweep step: quarantine gate, retried session,
 // circuit-breaker bookkeeping.
-func (f *Fleet) attestNode(id int, link Link, opts SweepOptions) NodeResult {
+func (f *Fleet) attestNode(ctx context.Context, id int, link Link, opts SweepOptions) nodeOutcome {
 	f.mu.Lock()
 	v := f.verifiers[id]
 	agent := f.agents[id]
@@ -245,20 +374,34 @@ func (f *Fleet) attestNode(id int, link Link, opts SweepOptions) NodeResult {
 	quarantined := h.quarantined
 	f.mu.Unlock()
 
+	T := f.telemetry()
 	policy := opts.Retry
+	probe := false
 	if quarantined {
 		if !opts.ProbeQuarantined {
-			return NodeResult{NodeID: id, Err: fmt.Errorf("%w (skipped)", ErrQuarantined)}
+			return nodeOutcome{res: NodeResult{NodeID: id, Err: fmt.Errorf("%w (skipped)", ErrQuarantined)}}
 		}
+		probe = true
 		policy = RetryPolicy{MaxAttempts: 1} // half-open: one probe, no retries
 	}
 
-	res, attempts, err := RunSessionRetry(v, agent, link, policy)
-	out := NodeResult{NodeID: id, Result: res, Err: err, Attempts: attempts}
+	res, attempts, err := RunSessionRetryContext(ctx, v, agent, link, policy)
+	out := nodeOutcome{
+		res:      NodeResult{NodeID: id, Result: res, Err: err, Attempts: attempts},
+		attempts: attempts,
+		probe:    probe,
+	}
+	if errors.Is(err, ErrCancelled) {
+		// The sweep was cancelled mid-node. No breaker update: the node
+		// was never given a fair chance to answer.
+		out.cancelled = true
+		return out
+	}
 	if quarantined && err != nil {
 		// Probe failed: stay quarantined, and report the cause.
-		out.Err = fmt.Errorf("%w: probe failed: %v", ErrQuarantined, err)
-		out.Attempts = 0
+		out.res.Err = fmt.Errorf("%w: probe failed: %v", ErrQuarantined, err)
+		out.res.Attempts = 0
+		T.QuarantineTransitions.With(transitionProbeFailed).Inc()
 	}
 
 	f.mu.Lock()
@@ -268,11 +411,19 @@ func (f *Fleet) attestNode(id int, link Link, opts SweepOptions) NodeResult {
 		// A completed session — whatever the verdict — proves the node
 		// reachable: reset the breaker.
 		h.consecutiveUnreachable = 0
-		h.quarantined = false
+		if h.quarantined {
+			h.quarantined = false
+			out.lifted = true
+			T.QuarantineTransitions.With(transitionExit).Inc()
+			T.QuarantineOpen.Add(-1)
+		}
 	case IsTransport(err) && !quarantined:
 		h.consecutiveUnreachable++
-		if f.QuarantineThreshold > 0 && h.consecutiveUnreachable >= f.QuarantineThreshold {
+		if f.QuarantineThreshold > 0 && h.consecutiveUnreachable >= f.QuarantineThreshold && !h.quarantined {
 			h.quarantined = true
+			out.entered = true
+			T.QuarantineTransitions.With(transitionEnter).Inc()
+			T.QuarantineOpen.Add(1)
 		}
 	}
 	return out

@@ -43,7 +43,7 @@ func TestFleetSweepAllHealthy(t *testing.T) {
 	if fleet.Size() != 3 {
 		t.Fatalf("size = %d", fleet.Size())
 	}
-	results := fleet.Sweep(DefaultLink())
+	results := fleet.Sweep(DefaultLink()).Results
 	if len(results) != 3 {
 		t.Fatalf("%d results", len(results))
 	}
@@ -65,7 +65,7 @@ func TestFleetSweepPinpointsCompromise(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		provers[1].Image.Mem[image.Layout.PayloadAddr+i] ^= 0xAA
 	}
-	results := fleet.Sweep(DefaultLink())
+	results := fleet.Sweep(DefaultLink()).Results
 	bad := Compromised(results)
 	if len(bad) != 1 || bad[0] != 1 {
 		t.Errorf("compromised = %v, want [1]", bad)

@@ -1,6 +1,9 @@
 package attest
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Link models the prover's constrained communication interface: one-way
 // propagation latency plus serialisation at a fixed bit rate. The paper's
@@ -33,16 +36,44 @@ func (l Link) String() string {
 
 // RunSession executes one full attestation round trip on the simulated
 // clock: challenge transfer, prover computation, response transfer,
-// verification.
+// verification. Each session records a trace — spans for the challenge
+// draw, the prover's PUF-entangled checksum, and the verdict — into the
+// attestation tracer's ring buffer (span taxonomy in DESIGN.md).
 func RunSession(v *Verifier, agent ProverAgent, link Link) (Result, error) {
+	sp := tel.Tracer.StartSpan("attest.session")
+	defer sp.Finish()
+
+	spc := sp.Child("challenge")
 	ch, err := v.NewSession()
+	spc.Finish()
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, err
 	}
+	sp.SetAttr("session", strconv.FormatUint(ch.Session, 10))
+
+	spr := sp.Child("puf_eval")
 	resp, compute, err := agent.Respond(ch)
+	spr.Finish()
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, err
 	}
+	spr.SetAttr("compute_seconds", strconv.FormatFloat(compute, 'g', -1, 64))
+
+	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
-	return v.Verify(ch, resp, elapsed), nil
+	res := v.Verify(ch, resp, elapsed)
+	spv.Finish()
+	sp.SetAttr("verdict", verdictLabel(res))
+	sp.SetAttr("elapsed_seconds", strconv.FormatFloat(elapsed, 'g', -1, 64))
+	return res, nil
+}
+
+// verdictLabel names a result for span attributes and log lines.
+func verdictLabel(res Result) string {
+	if res.Accepted {
+		return "accepted"
+	}
+	return "rejected"
 }

@@ -41,6 +41,11 @@ var (
 	// ErrQuarantined reports a node the fleet has stopped attesting after
 	// repeated transport failures.
 	ErrQuarantined = errors.New("attest: node quarantined")
+	// ErrCancelled reports an attestation abandoned because the caller's
+	// context ended. It is terminal, not a transport fault: retrying
+	// against a dead context can never succeed, so it must not consume the
+	// retry budget.
+	ErrCancelled = errors.New("attest: cancelled by caller")
 )
 
 // TransportError explicitly marks err as a retry-eligible channel fault.
@@ -177,6 +182,9 @@ func (p RetryPolicy) sleep(attempt int) {
 	if d <= 0 {
 		return
 	}
+	// The delay is observed when computed, not measured around the sleep,
+	// so the backoff histogram is exact even under an injected no-op clock.
+	tel.Backoff.Observe(d.Seconds())
 	if p.Sleep != nil {
 		p.Sleep(d)
 		return
@@ -193,12 +201,14 @@ func (p RetryPolicy) Do(op func(attempt int) error) (attempts int, err error) {
 		if i > 0 {
 			p.sleep(i)
 		}
+		tel.RetryAttempts.Inc()
 		err = op(i)
 		attempts = i + 1
 		if err == nil || !IsTransport(err) {
 			return attempts, err
 		}
 	}
+	tel.RetryExhausted.Inc()
 	return attempts, fmt.Errorf("attest: %d attempts exhausted: %w", attempts, err)
 }
 
@@ -208,8 +218,19 @@ func (p RetryPolicy) Do(op func(attempt int) error) (attempts int, err error) {
 // only transport faults (from a FaultyLink or a custom agent transport)
 // consume the budget.
 func RunSessionRetry(v *Verifier, agent ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
+	return RunSessionRetryContext(context.Background(), v, agent, link, policy)
+}
+
+// RunSessionRetryContext is RunSessionRetry bound to a context: the loop
+// checks ctx before every attempt, so a cancelled sweep stops burning its
+// retry budget mid-node. A context error is not a transport fault — it is
+// returned immediately without consuming further attempts.
+func RunSessionRetryContext(ctx context.Context, v *Verifier, agent ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
 	var res Result
 	attempts, err := policy.Do(func(int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w: %v", ErrCancelled, cerr)
+		}
 		var opErr error
 		res, opErr = RunSession(v, agent, link)
 		return opErr

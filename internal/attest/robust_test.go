@@ -711,7 +711,7 @@ func TestFleetResilientSweep50(t *testing.T) {
 	link := DefaultLink()
 	opts := SweepOptions{Concurrency: 8, Retry: RetryPolicy{MaxAttempts: 3}, ProbeQuarantined: true}
 
-	report := fleet.SweepWithOptions(link, opts)
+	report := fleet.SweepWithOptions(context.Background(), link, opts)
 	if len(report.Results) != nodes {
 		t.Fatalf("%d results, want %d", len(report.Results), nodes)
 	}
@@ -747,8 +747,8 @@ func TestFleetResilientSweep50(t *testing.T) {
 	}
 
 	// Repeat offenders trip the breaker after QuarantineThreshold sweeps.
-	fleet.SweepWithOptions(link, opts)
-	report3 := fleet.SweepWithOptions(link, opts)
+	fleet.SweepWithOptions(context.Background(), link, opts)
+	report3 := fleet.SweepWithOptions(context.Background(), link, opts)
 	if !sameIDs(fleet.Quarantined(), persistent) {
 		t.Fatalf("quarantined = %v, want %v", fleet.Quarantined(), persistent)
 	}
@@ -759,7 +759,7 @@ func TestFleetResilientSweep50(t *testing.T) {
 	// Sweep 4: quarantined nodes get a single half-open probe each — which
 	// fails against a dead link — so they are reported as quarantined and
 	// consume no retry budget.
-	report4 := fleet.SweepWithOptions(link, opts)
+	report4 := fleet.SweepWithOptions(context.Background(), link, opts)
 	if !sameIDs(report4.Quarantined, persistent) {
 		t.Errorf("sweep 4 quarantined = %v, want %v", report4.Quarantined, persistent)
 	}
@@ -781,7 +781,7 @@ func TestFleetResilientSweep50(t *testing.T) {
 	// An operator reinstates a node; it is attested (and found
 	// unreachable) again instead of being skipped.
 	fleet.Reinstate(persistent[0])
-	report5 := fleet.SweepWithOptions(link, opts)
+	report5 := fleet.SweepWithOptions(context.Background(), link, opts)
 	r := report5.Results[persistent[0]]
 	if r.Attempts != 3 || !r.Unreachable() {
 		t.Errorf("reinstated node: attempts=%d unreachable=%v, want 3/true", r.Attempts, r.Unreachable())
@@ -815,14 +815,14 @@ func TestFleetQuarantineRecovery(t *testing.T) {
 	link := DefaultLink()
 	opts := SweepOptions{Concurrency: 2, Retry: RetryPolicy{MaxAttempts: 1}, ProbeQuarantined: true}
 	for i := 0; i < 3; i++ {
-		fleet.SweepWithOptions(link, opts)
+		fleet.SweepWithOptions(context.Background(), link, opts)
 	}
 	if !sameIDs(fleet.Quarantined(), []int{5}) {
 		t.Fatalf("quarantined = %v, want [5]", fleet.Quarantined())
 	}
 	// The link has healed (3 faults consumed); the next sweep's probe
 	// succeeds and lifts the quarantine.
-	report := fleet.SweepWithOptions(link, opts)
+	report := fleet.SweepWithOptions(context.Background(), link, opts)
 	if !report.Results[2].Healthy() { // index 2 = node id 5 (after 0, 1)
 		t.Fatalf("healed node probe failed: %+v", report.Results[2])
 	}
@@ -841,9 +841,9 @@ func TestSweepProbeDisabled(t *testing.T) {
 	link := DefaultLink()
 	opts := SweepOptions{Concurrency: 2, Retry: RetryPolicy{MaxAttempts: 1}, ProbeQuarantined: false}
 	for i := 0; i < 3; i++ {
-		fleet.SweepWithOptions(link, opts)
+		fleet.SweepWithOptions(context.Background(), link, opts)
 	}
-	report := fleet.SweepWithOptions(link, opts)
+	report := fleet.SweepWithOptions(context.Background(), link, opts)
 	if !sameIDs(report.Quarantined, []int{1}) {
 		t.Fatalf("quarantined = %v, want [1]", report.Quarantined)
 	}
@@ -855,7 +855,7 @@ func TestSweepProbeDisabled(t *testing.T) {
 
 func TestSweepReportString(t *testing.T) {
 	fleet := buildResilientFleet(t, 2, fleetSpec{})
-	report := fleet.SweepWithOptions(DefaultLink(), DefaultSweepOptions())
+	report := fleet.SweepWithOptions(context.Background(), DefaultLink(), DefaultSweepOptions())
 	s := report.String()
 	if s == "" || len(report.Healthy) != 2 {
 		t.Fatalf("report = %q healthy=%v", s, report.Healthy)

@@ -84,19 +84,30 @@ func Request(conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
 // and cancellation aborts in-flight reads. A session that completes yields
 // a verdict; every other failure mode is a transport fault.
 func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
+	sp := tel.Tracer.StartSpan("attest.session.tcp")
+	defer sp.Finish()
 	if nc, ok := conn.(net.Conn); ok {
 		stop := guardConn(ctx, nc)
 		defer stop()
 	}
+	spc := sp.Child("challenge")
 	ch, err := v.NewSession()
+	spc.Finish()
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, err
 	}
+	sp.SetAttr("session", fmt.Sprintf("%d", ch.Session))
+	spx := sp.Child("puf_eval")
 	if err := WriteChallenge(conn, ch); err != nil {
+		spx.Finish()
+		sp.SetAttr("error", err.Error())
 		return Result{}, ctxErr(ctx, err)
 	}
 	resp, err := ReadResponse(conn)
+	spx.Finish()
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, ctxErr(ctx, err)
 	}
 	if resp.Session != ch.Session {
@@ -104,15 +115,22 @@ func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link L
 		// desync (a duplicated or replayed frame still in flight), not a
 		// prover verdict: classify it as transport so the retry path
 		// redials onto a clean stream.
-		return Result{}, Transport(fmt.Errorf("%w: response for session %d, want %d",
+		err := Transport(fmt.Errorf("%w: response for session %d, want %d",
 			ErrStaleFrame, resp.Session, ch.Session))
+		sp.SetAttr("error", err.Error())
+		return Result{}, err
 	}
 	compute, err := readTime(conn)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, ctxErr(ctx, err)
 	}
+	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
-	return v.Verify(ch, resp, elapsed), nil
+	res := v.Verify(ch, resp, elapsed)
+	spv.Finish()
+	sp.SetAttr("verdict", verdictLabel(res))
+	return res, nil
 }
 
 // RequestWithRetry attests with the given retry policy, dialing a fresh
@@ -195,11 +213,12 @@ type Server struct {
 	// called concurrently; nil discards.
 	OnError func(error)
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-	closed bool
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[net.Conn]struct{}
+	wg         sync.WaitGroup
+	closed     bool
+	adminClose func() error
 }
 
 // Start listens on the TCP address and begins serving in the background.
@@ -294,6 +313,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	adminClose := s.adminClose
 	var open []net.Conn
 	for c := range s.conns {
 		open = append(open, c)
@@ -303,6 +323,9 @@ func (s *Server) Close() error {
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if adminClose != nil {
+		_ = adminClose()
 	}
 	for _, c := range open {
 		_ = c.Close()

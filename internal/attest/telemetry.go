@@ -1,0 +1,169 @@
+package attest
+
+import (
+	"strings"
+
+	"pufatt/internal/telemetry"
+)
+
+// This file declares the attestation layer's telemetry: every metric the
+// protocol, retry, fleet, and fault-injection machinery emits, gathered in
+// one struct so the whole set is visible at a glance and injectable in
+// tests (a fresh Telemetry over a fresh registry gives a test exact
+// counters with no cross-test bleed).
+//
+// Metric name / label conventions (see DESIGN.md "Observability"):
+//
+//   - names are snake_case with a unit or _total suffix;
+//   - attestation-layer metrics carry the attest_ prefix except the two
+//     protocol-wide names the operators alert on (retry_attempts_total,
+//     quarantine_transitions_total);
+//   - low-cardinality labels only: fault class, frame type, rejection
+//     reason class, sweep outcome, quarantine transition.
+
+// Telemetry bundles the attestation layer's instruments over one registry.
+type Telemetry struct {
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	// Frame codec.
+	FramesSent     *telemetry.CounterVec // attest_frames_sent_total{type}
+	FramesReceived *telemetry.CounterVec // attest_frames_received_total{type}
+	FramesRejected *telemetry.CounterVec // attest_frames_rejected_total{reason}
+
+	// Protocol outcomes.
+	RTT      *telemetry.Histogram  // attest_rtt_seconds
+	Sessions *telemetry.CounterVec // attest_sessions_total{verdict}
+	Rejects  *telemetry.CounterVec // attest_rejections_total{reason}
+
+	// Retry / backoff.
+	RetryAttempts  *telemetry.Counter   // retry_attempts_total
+	RetryExhausted *telemetry.Counter   // retry_exhausted_total
+	Backoff        *telemetry.Histogram // attest_backoff_seconds
+
+	// Fleet sweeps.
+	Sweeps                *telemetry.Counter    // attest_sweeps_total
+	SweepNodes            *telemetry.CounterVec // attest_sweep_nodes_total{outcome}
+	SweepDuration         *telemetry.Histogram  // attest_sweep_duration_seconds
+	QuarantineTransitions *telemetry.CounterVec // quarantine_transitions_total{transition}
+	QuarantineOpen        *telemetry.Gauge      // attest_quarantine_open_nodes
+
+	// Fault injection.
+	FaultsInjected *telemetry.CounterVec // attest_faults_injected_total{class}
+}
+
+// NewTelemetry registers the attestation instrument set on the registry
+// (idempotent per registry) with traces on the given tracer (nil means the
+// process-wide default tracer).
+func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry {
+	if tracer == nil {
+		tracer = telemetry.DefaultTracer()
+	}
+	return &Telemetry{
+		Registry: reg,
+		Tracer:   tracer,
+
+		FramesSent: reg.CounterVec("attest_frames_sent_total",
+			"Protocol frames written, by frame type.", "type"),
+		FramesReceived: reg.CounterVec("attest_frames_received_total",
+			"Protocol frames read and validated, by frame type.", "type"),
+		FramesRejected: reg.CounterVec("attest_frames_rejected_total",
+			"Frames rejected by the codec's validation, by reason.", "reason"),
+
+		RTT: reg.Histogram("attest_rtt_seconds",
+			"Verifier-observed attestation round-trip time (challenge transfer + prover compute + response transfer).",
+			nil),
+		Sessions: reg.CounterVec("attest_sessions_total",
+			"Completed attestation sessions, by verdict.", "verdict"),
+		Rejects: reg.CounterVec("attest_rejections_total",
+			"Rejected sessions, by rejection reason class.", "reason"),
+
+		RetryAttempts: reg.Counter("retry_attempts_total",
+			"Attestation attempts started (first tries and retries)."),
+		RetryExhausted: reg.Counter("retry_exhausted_total",
+			"Retry loops that exhausted their transport-fault budget."),
+		Backoff: reg.Histogram("attest_backoff_seconds",
+			"Backoff delays computed between retry attempts.", nil),
+
+		Sweeps: reg.Counter("attest_sweeps_total",
+			"Fleet sweeps started."),
+		SweepNodes: reg.CounterVec("attest_sweep_nodes_total",
+			"Per-node sweep outcomes.", "outcome"),
+		SweepDuration: reg.Histogram("attest_sweep_duration_seconds",
+			"Wall-clock duration of fleet sweeps.", nil),
+		QuarantineTransitions: reg.CounterVec("quarantine_transitions_total",
+			"Quarantine circuit-breaker transitions, by kind.", "transition"),
+		QuarantineOpen: reg.Gauge("attest_quarantine_open_nodes",
+			"Nodes currently quarantined across all fleets on this registry."),
+
+		FaultsInjected: reg.CounterVec("attest_faults_injected_total",
+			"Faults injected by the deterministic harness, by class.", "class"),
+	}
+}
+
+// tel is the package-default telemetry: every instrument registered on the
+// process-wide registry, served by the admin endpoint.
+var tel = NewTelemetry(telemetry.Default(), nil)
+
+// Metrics returns the attestation layer's package-default telemetry, for
+// callers that want to read counters or attach the tracer clock.
+func Metrics() *Telemetry { return tel }
+
+// Quarantine transition labels.
+const (
+	transitionEnter       = "enter"        // breaker opened: node newly quarantined
+	transitionProbeFailed = "probe_failed" // half-open probe failed; stays quarantined
+	transitionExit        = "exit"         // completed session lifted the quarantine
+	transitionReinstate   = "reinstate"    // operator reinstated the node
+)
+
+// Sweep outcome labels (mirrors the SweepReport classification).
+const (
+	outcomeHealthy     = "healthy"
+	outcomeCompromised = "compromised"
+	outcomeUnreachable = "unreachable"
+	outcomeQuarantined = "quarantined"
+)
+
+// rejectionClass maps a verifier rejection reason string onto a bounded
+// label set (free-form reasons would explode metric cardinality).
+func rejectionClass(reason string) string {
+	switch {
+	case reason == "session mismatch":
+		return "session_mismatch"
+	case reason == "attestation response mismatch":
+		return "tag_mismatch"
+	case strings.HasPrefix(reason, "time bound"):
+		return "time_bound"
+	case strings.HasPrefix(reason, "helper"):
+		return "helper_length"
+	case strings.HasPrefix(reason, "reference"):
+		return "reference_checksum"
+	}
+	return "other"
+}
+
+// frameTypeName labels a frame type byte.
+func frameTypeName(ftype byte) string {
+	switch ftype {
+	case frameChallenge:
+		return "challenge"
+	case frameResponse:
+		return "response"
+	case frameTime:
+		return "time"
+	}
+	return "unknown"
+}
+
+// observeSession records a completed session's verdict and round-trip
+// time, and annotates the session span when one is active.
+func (t *Telemetry) observeSession(res Result) {
+	t.RTT.Observe(res.Elapsed)
+	if res.Accepted {
+		t.Sessions.With("accepted").Inc()
+	} else {
+		t.Sessions.With("rejected").Inc()
+		t.Rejects.With(rejectionClass(res.Reason)).Inc()
+	}
+}

@@ -90,8 +90,16 @@ func (v *Verifier) NewSession() (Challenge, error) {
 }
 
 // Verify checks a prover response against the challenge and the observed
-// elapsed time.
+// elapsed time. Every completed verification feeds the attest_rtt_seconds
+// histogram and the per-verdict session counters — the timing distribution
+// IS the security argument (Section 4), so it is always measured.
 func (v *Verifier) Verify(ch Challenge, resp Response, elapsed float64) Result {
+	res := v.verify(ch, resp, elapsed)
+	tel.observeSession(res)
+	return res
+}
+
+func (v *Verifier) verify(ch Challenge, resp Response, elapsed float64) Result {
 	res := Result{Elapsed: elapsed, Delta: v.Delta()}
 	if resp.Session != ch.Session {
 		res.Reason = "session mismatch"

@@ -1,0 +1,103 @@
+// Package buildinfo gives every pufatt command a uniform identity: one
+// Info struct assembled from the Go build metadata, printable as text or
+// JSON. Keeping it in one place means all six tools answer -version the
+// same way and a fleet operator can machine-read which build is deployed.
+package buildinfo
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the semantic version stamped at release time (overridable via
+// -ldflags "-X pufatt/internal/buildinfo.Version=v1.2.3"). "dev" means an
+// unstamped build; the VCS fields below still pin it exactly.
+var Version = "dev"
+
+// Info describes one built tool.
+type Info struct {
+	Tool      string `json:"tool"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Revision / DirtyTree come from the VCS stamp when the binary was
+	// built inside a checkout ("" / false otherwise).
+	Revision  string `json:"revision,omitempty"`
+	DirtyTree bool   `json:"dirty_tree,omitempty"`
+}
+
+// Get assembles the build info for the named tool.
+func Get(tool string) Info {
+	info := Info{
+		Tool:      tool,
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.DirtyTree = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// WriteText renders the info as the classic one-line -version output.
+func (i Info) WriteText(w io.Writer) {
+	rev := ""
+	if i.Revision != "" {
+		short := i.Revision
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		rev = " (" + short
+		if i.DirtyTree {
+			rev += "-dirty"
+		}
+		rev += ")"
+	}
+	fmt.Fprintf(w, "%s %s%s %s %s/%s\n", i.Tool, i.Version, rev, i.GoVersion, i.OS, i.Arch)
+}
+
+// WriteJSON renders the info as one JSON object.
+func (i Info) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(i)
+}
+
+// VersionFlags registers the standard -version/-json flag pair on the
+// default flag set. Call it before flag.Parse and invoke the returned
+// function right after: when -version was given it prints the build info
+// (JSON under -json) and exits 0; otherwise it does nothing.
+func VersionFlags(tool string) (handle func()) {
+	show := flag.Bool("version", false, "print build information and exit")
+	asJSON := flag.Bool("json", false, "with -version, print build information as JSON")
+	return func() {
+		if !*show {
+			return
+		}
+		info := Get(tool)
+		if *asJSON {
+			if err := info.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			info.WriteText(os.Stdout)
+		}
+		os.Exit(0)
+	}
+}

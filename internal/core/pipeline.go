@@ -85,6 +85,7 @@ func (p *Pipeline) Query(seed uint64) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	pufQueries.Inc()
 	return &Output{Z: z, Helpers: helpers}, nil
 }
 
@@ -155,16 +156,20 @@ func (v *VerifierPipeline) Recover(seed uint64, helpers []uint64) ([]uint8, erro
 		return nil, fmt.Errorf("core: %d helper words, want %d", len(helpers), obfuscate.ResponsesPerOutput)
 	}
 	responses := make([][]uint8, len(helpers))
+	corrected := 0
 	for j := range helpers {
 		ref, err := v.src.ReferenceResponse(seed, j)
 		if err != nil {
 			return nil, fmt.Errorf("core: reference %d: %w", j, err)
 		}
-		y, _, err := v.sketch.Recover(ref, helpers[j])
+		y, n, err := v.sketch.Recover(ref, helpers[j])
 		if err != nil {
 			return nil, fmt.Errorf("core: helper %d: %w", j, err)
 		}
+		corrected += n
 		responses[j] = y
 	}
+	eccRecoveries.Add(uint64(len(helpers)))
+	eccCorrectedBits.Add(uint64(corrected))
 	return v.net.Apply(responses)
 }

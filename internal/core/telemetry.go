@@ -1,0 +1,16 @@
+package core
+
+import "pufatt/internal/telemetry"
+
+// PUF-pipeline instruments. The ECC correction count is the reliability
+// signal of the reverse fuzzy extractor: corrected bits per recovery track
+// the device's raw bit-error rate, and a drift upward is aging or an
+// environmental shift long before recoveries start failing outright.
+var (
+	pufQueries = telemetry.Default().Counter("puf_queries_total",
+		"Prover-side PUF() invocations (eight raw responses each).")
+	eccRecoveries = telemetry.Default().Counter("ecc_recoveries_total",
+		"Verifier-side sketch recoveries performed.")
+	eccCorrectedBits = telemetry.Default().Counter("ecc_corrected_bits_total",
+		"Raw response bits corrected by the secure sketch during recovery.")
+)

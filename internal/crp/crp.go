@@ -62,6 +62,7 @@ func Enroll(dev *core.Device, seeds []uint64) (*Database, error) {
 		db.entries[seed] = &entry{refs: refs}
 		db.order = append(db.order, seed)
 	}
+	enrolledSeeds.Add(uint64(len(db.order)))
 	return db, nil
 }
 
@@ -85,6 +86,7 @@ func (db *Database) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
 	if j < 0 || j >= len(e.refs) {
 		return nil, fmt.Errorf("crp: reference index %d out of range", j)
 	}
+	referenceLookups.Inc()
 	return e.refs[j], nil
 }
 
@@ -93,12 +95,15 @@ func (db *Database) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
 func (db *Database) Claim(seed uint64) error {
 	e, ok := db.entries[seed]
 	if !ok {
+		claims.With("unknown").Inc()
 		return ErrUnknownSeed
 	}
 	if e.used {
+		claims.With("replay").Inc()
 		return ErrSeedUsed
 	}
 	e.used = true
+	claims.With("ok").Inc()
 	return nil
 }
 

@@ -1,0 +1,16 @@
+package crp
+
+import "pufatt/internal/telemetry"
+
+// CRP-database throughput instruments. The claim counter's result label is
+// the interesting one operationally: a rising "replay" count is either a
+// protocol bug or an actual replay attempt, and "exhausted" claims signal a
+// device near the end of its enrolled lifetime.
+var (
+	enrolledSeeds = telemetry.Default().Counter("crp_enrolled_seeds_total",
+		"Challenge seeds enrolled into CRP databases.")
+	claims = telemetry.Default().CounterVec("crp_claims_total",
+		"Seed claims against CRP databases, by result.", "result")
+	referenceLookups = telemetry.Default().Counter("crp_reference_lookups_total",
+		"Reference-response lookups served from CRP databases.")
+)

@@ -82,6 +82,7 @@ func (o *Network) Apply(responses [][]uint8) ([]uint8, error) {
 			z[i] ^= b[i]
 		}
 	}
+	outputs.Inc()
 	return z, nil
 }
 

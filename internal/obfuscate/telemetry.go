@@ -1,0 +1,9 @@
+package obfuscate
+
+import "pufatt/internal/telemetry"
+
+// outputs counts obfuscated words produced — together with
+// ResponsesPerOutput it gives the raw-response consumption rate of the
+// whole PUF() pipeline.
+var outputs = telemetry.Default().Counter("obfuscate_outputs_total",
+	"Obfuscated output words produced by the two-phase XOR network.")

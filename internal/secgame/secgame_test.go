@@ -2,6 +2,7 @@ package secgame
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -79,8 +80,19 @@ func buildWorld(t *testing.T) (*Experiment, *attest.Prover, map[string]attest.Pr
 func TestExperiments(t *testing.T) {
 	exp, honest, adversaries := buildWorld(t)
 	report := &Report{Correctness: exp.Run("honest", honest)}
-	for name, agent := range adversaries {
-		report.Soundness = append(report.Soundness, exp.Run(name, agent))
+	// Each strategy plays against a fresh world: the verifier's session
+	// counter seeds the challenges and the device port is stateful, so
+	// strategies sharing one world would see challenge sequences (and hence
+	// outcomes) that depend on which strategies ran before them. Isolated
+	// worlds make every strategy's result deterministic and order-free.
+	names := make([]string, 0, len(adversaries))
+	for name := range adversaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		exp, _, fresh := buildWorld(t)
+		report.Soundness = append(report.Soundness, exp.Run(name, fresh[name]))
 	}
 	if !report.CorrectnessHolds() {
 		t.Errorf("correctness failed:\n%s", report.Format())

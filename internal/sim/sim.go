@@ -143,6 +143,8 @@ func (e *Engine) Run(inputs []uint8) (values []uint8, arrival []float64) {
 		e.values[g] = val
 		e.arrival[g] = t + d
 	}
+	levelizedPasses.Inc()
+	gateEvals.Add(uint64(len(nl.Order)))
 	return e.values, e.arrival
 }
 
@@ -182,6 +184,7 @@ type EventSim struct {
 	now        float64
 	seq        uint64
 	transits   uint64
+	unflushed  uint64 // events processed, not yet flushed to the counter
 	// OnTransition, when set, observes every committed signal transition
 	// (waveform dumping, activity analysis). It must not mutate the
 	// simulator.
@@ -220,6 +223,16 @@ func (s *EventSim) Settle(inputs []uint8) {
 	s.now = 0
 	s.seq = 0
 	s.transits = 0
+	s.flushTelemetry()
+}
+
+// flushTelemetry publishes locally-batched event counts (one atomic add
+// instead of one per event in the simulation loop).
+func (s *EventSim) flushTelemetry() {
+	if s.unflushed > 0 {
+		eventsProcessed.Add(s.unflushed)
+		s.unflushed = 0
+	}
 }
 
 // Apply changes the primary inputs at the current simulation time and
@@ -286,6 +299,7 @@ func (s *EventSim) step() bool {
 		}
 		s.pendSeq[ev.gate] = 0
 		s.now = ev.t
+		s.unflushed++
 		if s.values[ev.gate] == ev.val {
 			return true
 		}
@@ -308,6 +322,7 @@ func (s *EventSim) step() bool {
 func (s *EventSim) Run() float64 {
 	for s.step() {
 	}
+	s.flushTelemetry()
 	return s.now
 }
 
@@ -329,6 +344,7 @@ func (s *EventSim) RunUntil(t float64) {
 	if t > s.now {
 		s.now = t
 	}
+	s.flushTelemetry()
 }
 
 // Value returns the current value of net g.

@@ -1,0 +1,17 @@
+package sim
+
+import "pufatt/internal/telemetry"
+
+// The simulation engines are the innermost hot loop of the whole stack (a
+// paper-scale experiment evaluates 10^6 challenges), so instrumentation is
+// batched: the levelized engine does two atomic adds per pass, and the
+// event simulator accumulates locally and flushes one atomic add per
+// Run/RunUntil/Settle.
+var (
+	levelizedPasses = telemetry.Default().Counter("sim_levelized_passes_total",
+		"Levelized floating-mode evaluation passes (one per Engine.Run).")
+	gateEvals = telemetry.Default().Counter("sim_gate_evals_total",
+		"Gates evaluated by the levelized engine.")
+	eventsProcessed = telemetry.Default().Counter("sim_events_processed_total",
+		"Events processed by the event-driven simulator.")
+)

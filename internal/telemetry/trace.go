@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file implements lightweight in-process tracing: spans with
+// parent/child structure and string attributes, collected by a Tracer into
+// a ring buffer of recent root spans. There is no wire protocol and no
+// sampling machinery — the point is that an operator (or a test) can ask
+// "what did the last N attestation sessions actually spend their time on"
+// and get the challenge→PUF-eval→checksum→verdict breakdown without
+// attaching a debugger.
+//
+// The tracer's clock is injectable, so span timing is testable without
+// sleeping: a fake clock that advances a fixed step per call yields fully
+// deterministic durations.
+
+// Span is one timed operation, possibly with children. All methods are safe
+// for concurrent use, though a span is typically owned by one goroutine.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	finished bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// Name returns the span's operation name.
+func (s *Span) Name() string { return s.name }
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time { return s.start }
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// Attr returns the attribute value for key ("" when absent).
+func (s *Span) Attr(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Child opens a child span with the same tracer clock.
+func (s *Span) Child(name string) *Span {
+	c := &Span{tracer: s.tracer, parent: s, name: name, start: s.tracer.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Children returns the child spans opened so far.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Finish stamps the span's end time. Finishing a root span records it in
+// the tracer's ring buffer; finishing twice is a no-op.
+func (s *Span) Finish() {
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.end = s.tracer.now()
+	s.mu.Unlock()
+	if s.parent == nil {
+		s.tracer.record(s)
+	}
+}
+
+// Duration returns end−start for a finished span; for a live span it
+// returns the elapsed time so far on the tracer clock.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return s.end.Sub(s.start)
+	}
+	return s.tracer.now().Sub(s.start)
+}
+
+// Tracer mints spans against an injectable clock and retains the most
+// recent finished root spans in a ring buffer.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	ring   []*Span
+	next   int
+	filled bool
+}
+
+// DefaultTraceCapacity is the ring size of NewTracer(0) and the package
+// default tracer.
+const DefaultTraceCapacity = 64
+
+// NewTracer returns a tracer retaining the last capacity root spans
+// (capacity <= 0 means DefaultTraceCapacity) on the real-time clock.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{clock: time.Now, ring: make([]*Span, capacity)}
+}
+
+var defaultTracer = NewTracer(0)
+
+// DefaultTracer returns the process-wide tracer the attestation pipeline
+// records into and the admin endpoint serves.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetClock injects the tracer's clock (nil restores time.Now). Tests use a
+// stepping fake so span durations are deterministic without sleeping.
+func (t *Tracer) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	t.clock = now
+}
+
+// Now reads the tracer clock: time.Now unless a test clock was injected.
+// Instrumented code times whole operations against this so elapsed-time
+// stats stay deterministic under a fake clock.
+func (t *Tracer) Now() time.Time { return t.now() }
+
+func (t *Tracer) now() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock()
+}
+
+// StartSpan opens a root span.
+func (t *Tracer) StartSpan(name string) *Span {
+	return &Span{tracer: t, name: name, start: t.now()}
+}
+
+// record stores a finished root span in the ring.
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Recent returns the retained root spans, oldest first.
+func (t *Tracer) Recent() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Span
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	out = append(out, t.ring[:t.next]...)
+	res := make([]*Span, 0, len(out))
+	for _, s := range out {
+		if s != nil {
+			res = append(res, s)
+		}
+	}
+	return res
+}
+
+// WriteJSON renders the retained traces as a JSON array of span trees:
+// {"name", "start_unix_ns", "duration_seconds", "attrs", "children"}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, s := range t.Recent() {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		writeSpanJSON(&b, s)
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSpanJSON(b *strings.Builder, s *Span) {
+	fmt.Fprintf(b, `{"name": %s, "start_unix_ns": %d, "duration_seconds": %s`,
+		strconv.Quote(s.name), s.start.UnixNano(), jsonNumber(s.Duration().Seconds()))
+	s.mu.Lock()
+	attrs := make([]string, 0, len(s.attrs))
+	for k := range s.attrs {
+		attrs = append(attrs, k)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if len(attrs) > 0 {
+		sort.Strings(attrs)
+		b.WriteString(`, "attrs": {`)
+		for i, k := range attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s: %s", strconv.Quote(k), strconv.Quote(s.Attr(k)))
+		}
+		b.WriteString("}")
+	}
+	if len(children) > 0 {
+		b.WriteString(`, "children": [`)
+		for i, c := range children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeSpanJSON(b, c)
+		}
+		b.WriteString("]")
+	}
+	b.WriteString("}")
+}
