@@ -1,6 +1,8 @@
 # Makefile — developer entry points. `make verify` is the full gate:
-# gofmt, tier-1 build+tests, vet, and the race-detected fault-injection
-# suite. `make bench` snapshots the root benchmarks into BENCH_PR2.json.
+# gofmt, tier-1 build+tests, vet, and the race-detected suites. `make
+# bench` snapshots the root benchmarks into BENCH_PR3.json and diffs the
+# snapshot against the previous PR's BENCH_PR2.json (informational; use
+# `benchjson compare -strict` to gate).
 
 GO ?= go
 
@@ -16,15 +18,17 @@ vet:
 	$(GO) vet ./...
 
 # The attestation robustness tests (drop/corrupt/truncate/delay/duplicate
-# fault classes, retry, quarantine) under the race detector.
+# fault classes, retry, quarantine) plus the parallel batch-evaluation
+# packages under the race detector.
 race:
-	$(GO) test -race ./internal/attest/...
+	$(GO) test -race ./internal/attest/... ./internal/sim/... ./internal/core/... ./internal/experiments/...
 
 verify:
 	./scripts/verify.sh
 
 # Run the facade benchmarks once each and record them as JSON for
-# cross-PR comparison.
+# cross-PR comparison, then diff against the previous PR's snapshot.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./scripts/benchjson > BENCH_PR2.json
-	@cat BENCH_PR2.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./scripts/benchjson > BENCH_PR3.json
+	@cat BENCH_PR3.json
+	@if [ -f BENCH_PR2.json ]; then $(GO) run ./scripts/benchjson compare BENCH_PR2.json BENCH_PR3.json; fi

@@ -9,6 +9,7 @@ package pufatt
 // counts); ns/op carries the cost of producing them.
 
 import (
+	"fmt"
 	"testing"
 
 	"pufatt/internal/attacks"
@@ -32,7 +33,7 @@ import (
 // --- Figure 3 ---
 
 func BenchmarkFigure3InterChipHD(b *testing.B) {
-	res, err := experiments.Figure3(core.DefaultConfig(), 2, b.N, 1)
+	res, err := experiments.Figure3(core.DefaultConfig(), 2, b.N, 1, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func BenchmarkFigure3InterChipHD(b *testing.B) {
 // --- Figure 4 ---
 
 func BenchmarkFigure4IntraChipHD(b *testing.B) {
-	res, err := experiments.Figure4(core.DefaultConfig(), b.N, 2)
+	res, err := experiments.Figure4(core.DefaultConfig(), b.N, 2, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -194,10 +195,10 @@ func BenchmarkMLModelingAttack(b *testing.B) {
 	var rawAcc, obfAcc float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := attacks.TrainRawModel(dev, 1500, 15, rng.New(15))
-		rawAcc = m.AccuracyRaw(dev, 300, rng.New(16))
-		mo := attacks.TrainObfuscatedModel(oracle, 1000, 15, rng.New(17))
-		obfAcc = mo.AccuracyObfuscated(oracle, 200, rng.New(18))
+		m := attacks.TrainRawModel(dev, 1500, 15, rng.New(15), 0)
+		rawAcc = m.AccuracyRaw(dev, 300, rng.New(16), 0)
+		mo := attacks.TrainObfuscatedModel(oracle, 1000, 15, rng.New(17), 0)
+		obfAcc = mo.AccuracyObfuscated(oracle, 200, rng.New(18), 0)
 	}
 	b.ReportMetric(100*rawAcc, "raw-acc-%")
 	b.ReportMetric(100*obfAcc, "obf-acc-%")
@@ -534,6 +535,35 @@ func BenchmarkSlenderAuthentication(b *testing.B) {
 }
 
 // --- microbenchmarks of the hot paths ---
+
+// BenchmarkBatchEval measures the parallel batch engine's throughput at
+// several worker counts over a fixed 256-challenge batch. The headline
+// custom metric is gate evaluations per second; on a multi-core host the
+// workers=4 line should run at least twice the workers=1 rate.
+func BenchmarkBatchEval(b *testing.B) {
+	d := core.MustNewDesign(core.DefaultConfig())
+	dev := core.MustNewDevice(d, rng.New(35), 0)
+	be := core.NewBatchEvaluator(dev)
+	const batch = 256
+	src := rng.New(36)
+	challenges := core.ChallengeMatrix(d, batch)
+	for k := range challenges {
+		d.ExpandChallengeInto(challenges[k], src.Uint64(), 0)
+	}
+	dst := be.ResponseMatrix(batch)
+	gatesPerBatch := float64(batch) * float64(len(d.Datapath().Net.Order))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				be.RawResponses(challenges, dst, workers)
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(gatesPerBatch*float64(b.N)/s, "gate-evals/s")
+			}
+		})
+	}
+}
 
 func BenchmarkRawResponse(b *testing.B) {
 	d := core.MustNewDesign(core.DefaultConfig())

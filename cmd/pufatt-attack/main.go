@@ -15,15 +15,17 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "device manufacturing seed")
-		fast   = flag.Bool("fast", false, "reduced dataset sizes")
-		games  = flag.Bool("games", false, "also run the game-based soundness experiments")
-		trials = flag.Int("trials", 25, "trials per strategy for -games")
+		seed    = flag.Uint64("seed", 1, "device manufacturing seed")
+		fast    = flag.Bool("fast", false, "reduced dataset sizes")
+		games   = flag.Bool("games", false, "also run the game-based soundness experiments")
+		trials  = flag.Int("trials", 25, "trials per strategy for -games")
+		workers = flag.Int("workers", 0, "PUF batch-evaluation workers (0 = GOMAXPROCS)")
 	)
 	version := buildinfo.VersionFlags("pufatt-attack")
 	flag.Parse()
 	version()
 	cfg := experiments.DefaultSecurityConfig(*seed)
+	cfg.Workers = *workers
 	if *fast {
 		cfg.MLTrain = 1000
 		cfg.MLTest = 200

@@ -7,6 +7,7 @@
 //
 //	pufatt-eval -exp fig3 -n 1000000        # full-scale Figure 3
 //	pufatt-eval -exp all -n 20000           # everything, reduced scale
+//	pufatt-eval -exp fig4 -n 200000 -workers 8   # parallel batch evaluation
 package main
 
 import (
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3, fig4, table1, fpga, security, all")
-		n     = flag.Int("n", 20000, "challenges per experiment (paper: 1000000)")
-		chips = flag.Int("chips", 2, "simulated chips for figure 3")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		hist  = flag.Bool("hist", false, "print full histograms")
+		exp     = flag.String("exp", "all", "experiment: fig3, fig4, fnr, table1, fpga, security, all")
+		n       = flag.Int("n", 20000, "challenges per experiment (paper: 1000000)")
+		chips   = flag.Int("chips", 2, "simulated chips for figure 3")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		hist    = flag.Bool("hist", false, "print full histograms")
+		workers = flag.Int("workers", 0, "PUF batch-evaluation workers (0 = GOMAXPROCS)")
 	)
 	version := buildinfo.VersionFlags("pufatt-eval")
 	flag.Parse()
@@ -47,18 +49,25 @@ func main() {
 	}
 
 	run("fig3", func() (string, error) {
-		r, err := experiments.Figure3(core.DefaultConfig(), *chips, *n, *seed)
+		r, err := experiments.Figure3(core.DefaultConfig(), *chips, *n, *seed, *workers)
 		if err != nil {
 			return "", err
 		}
 		return r.Format(*hist), nil
 	})
 	run("fig4", func() (string, error) {
-		r, err := experiments.Figure4(core.DefaultConfig(), *n, *seed)
+		r, err := experiments.Figure4(core.DefaultConfig(), *n, *seed, *workers)
 		if err != nil {
 			return "", err
 		}
 		return r.Format(*hist), nil
+	})
+	run("fnr", func() (string, error) {
+		r, err := experiments.FNRMonteCarlo(core.DefaultConfig(), *n, 5, *seed, *workers)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	})
 	run("table1", func() (string, error) {
 		return experiments.Table1Report(16)

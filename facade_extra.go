@@ -75,7 +75,7 @@ type (
 
 // TrainRawModel trains the logistic modeling attack on raw CRPs.
 func TrainRawModel(dev *Device, nTrain, epochs int, seed uint64) *MLModel {
-	return attacks.TrainRawModel(dev, nTrain, epochs, rng.New(seed))
+	return attacks.TrainRawModel(dev, nTrain, epochs, rng.New(seed), 0)
 }
 
 // NewObfuscatedOracle wraps a device behind the obfuscation network.
@@ -85,17 +85,17 @@ func NewObfuscatedOracle(dev *Device) (*ObfuscatedOracle, error) {
 
 // TrainObfuscatedModel trains the attack against the obfuscated interface.
 func TrainObfuscatedModel(oracle *ObfuscatedOracle, nTrain, epochs int, seed uint64) *MLModel {
-	return attacks.TrainObfuscatedModel(oracle, nTrain, epochs, rng.New(seed))
+	return attacks.TrainObfuscatedModel(oracle, nTrain, epochs, rng.New(seed), 0)
 }
 
 // EvaluateRawModel measures a raw model's per-bit accuracy on fresh CRPs.
 func EvaluateRawModel(m *MLModel, dev *Device, nTest int, seed uint64) float64 {
-	return m.AccuracyRaw(dev, nTest, rng.New(seed))
+	return m.AccuracyRaw(dev, nTest, rng.New(seed), 0)
 }
 
 // EvaluateObfuscatedModel measures an obfuscated model's per-bit accuracy.
 func EvaluateObfuscatedModel(m *MLModel, oracle *ObfuscatedOracle, nTest int, seed uint64) float64 {
-	return m.AccuracyObfuscated(oracle, nTest, rng.New(seed))
+	return m.AccuracyObfuscated(oracle, nTest, rng.New(seed), 0)
 }
 
 // NewForgeryProver builds the memory-copy attack prover.

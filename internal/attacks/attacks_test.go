@@ -234,8 +234,8 @@ func TestMLAttackBreaksRawPUF(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Width = 16
 	dev := core.MustNewDevice(core.MustNewDesign(cfg), rng.New(6), 0)
-	m := TrainRawModel(dev, 3000, 25, rng.New(7))
-	acc := m.AccuracyRaw(dev, 500, rng.New(8))
+	m := TrainRawModel(dev, 3000, 25, rng.New(7), 0)
+	acc := m.AccuracyRaw(dev, 500, rng.New(8), 0)
 	if acc < 0.95 {
 		t.Errorf("raw modeling accuracy %.3f; the raw ALU PUF should be near fully modelable", acc)
 	}
@@ -249,8 +249,8 @@ func TestMLAttackDefeatedByObfuscation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := TrainObfuscatedModel(oracle, 2000, 25, rng.New(10))
-	acc := m.AccuracyObfuscated(oracle, 300, rng.New(11))
+	m := TrainObfuscatedModel(oracle, 2000, 25, rng.New(10), 0)
+	acc := m.AccuracyObfuscated(oracle, 300, rng.New(11), 0)
 	if acc > 0.85 {
 		t.Errorf("obfuscated modeling accuracy %.3f; obfuscation is not working", acc)
 	}

@@ -89,17 +89,24 @@ func trainLogistic(xs [][]float64, ys [][]uint8, bits, epochs int, lr float64, s
 }
 
 // TrainRawModel trains the modeling attack on nTrain observed raw CRPs of
-// the device (noiseless responses: the attacker's best case).
-func TrainRawModel(dev *core.Device, nTrain, epochs int, src *rng.Source) *MLModel {
-	width := dev.Design().Config().Width
-	bits := dev.Design().ResponseBits()
+// the device (noiseless responses: the attacker's best case). The training
+// set is generated on the parallel batch engine with the given worker count
+// (0 = GOMAXPROCS); the resulting model is bit-identical for every worker
+// count, since noiseless evaluation is deterministic and SGD ordering
+// depends only on src.
+func TrainRawModel(dev *core.Device, nTrain, epochs int, src *rng.Source, workers int) *MLModel {
+	d := dev.Design()
+	width := d.Config().Width
+	bits := d.ResponseBits()
 	feat := rawFeatures(width)
+	challenges := core.ChallengeMatrix(d, nTrain)
+	for k := range challenges {
+		d.ExpandChallengeInto(challenges[k], src.Uint64(), 0)
+	}
+	ys := dev.NoiselessResponses(challenges, workers)
 	xs := make([][]float64, nTrain)
-	ys := make([][]uint8, nTrain)
-	for k := 0; k < nTrain; k++ {
-		ch := dev.Design().ExpandChallenge(src.Uint64(), 0)
-		xs[k] = feat(ch)
-		ys[k] = append([]uint8(nil), dev.NoiselessResponse(ch)...)
+	for k := range xs {
+		xs[k] = feat(challenges[k])
 	}
 	return &MLModel{
 		width:    width,
@@ -126,15 +133,20 @@ func (m *MLModel) Predict(challenge []uint8) []uint8 {
 }
 
 // AccuracyRaw measures per-bit prediction accuracy on nTest fresh
-// challenges against the device's noiseless responses.
-func (m *MLModel) AccuracyRaw(dev *core.Device, nTest int, src *rng.Source) float64 {
+// challenges against the device's noiseless responses, evaluated on the
+// batch engine (workers knob, 0 = GOMAXPROCS).
+func (m *MLModel) AccuracyRaw(dev *core.Device, nTest int, src *rng.Source, workers int) float64 {
+	d := dev.Design()
+	challenges := core.ChallengeMatrix(d, nTest)
+	for k := range challenges {
+		d.ExpandChallengeInto(challenges[k], src.Uint64(), 0)
+	}
+	wants := dev.NoiselessResponses(challenges, workers)
 	correct, total := 0, 0
-	for k := 0; k < nTest; k++ {
-		ch := dev.Design().ExpandChallenge(src.Uint64(), 0)
-		want := dev.NoiselessResponse(ch)
-		got := m.Predict(ch)
-		for i := range want {
-			if got[i] == want[i] {
+	for k := range challenges {
+		got := m.Predict(challenges[k])
+		for i := range wants[k] {
+			if got[i] == wants[k][i] {
 				correct++
 			}
 			total++
@@ -171,17 +183,39 @@ func (o *ObfuscatedOracle) Z(seed uint32) []uint8 {
 	return o.net.MustApply(rs)
 }
 
-// TrainObfuscatedModel trains the same attack against the obfuscated
-// interface: seed in, z out.
-func TrainObfuscatedModel(oracle *ObfuscatedOracle, nTrain, epochs int, src *rng.Source) *MLModel {
-	bits := oracle.dev.Design().ResponseBits()
-	xs := make([][]float64, nTrain)
-	ys := make([][]uint8, nTrain)
-	for k := 0; k < nTrain; k++ {
-		seed := uint32(src.Uint64())
-		xs[k] = seedFeatures(seed)
-		ys[k] = oracle.Z(seed)
+// ZBatch evaluates the obfuscated outputs for many seeds on the parallel
+// batch engine: the G underlying raw challenges per seed are expanded into
+// one flat batch, evaluated with the given worker count, and folded through
+// the obfuscation network. Bit-identical to calling Z per seed.
+func (o *ObfuscatedOracle) ZBatch(seeds []uint32, workers int) [][]uint8 {
+	d := o.dev.Design()
+	g := obfuscate.ResponsesPerOutput
+	challenges := core.ChallengeMatrix(d, len(seeds)*g)
+	for k, seed := range seeds {
+		for j := 0; j < g; j++ {
+			d.ExpandChallengeInto(challenges[k*g+j], uint64(seed), j)
+		}
 	}
+	raw := o.dev.NoiselessResponses(challenges, workers)
+	zs := make([][]uint8, len(seeds))
+	for k := range seeds {
+		zs[k] = o.net.MustApply(raw[k*g : (k+1)*g])
+	}
+	return zs
+}
+
+// TrainObfuscatedModel trains the same attack against the obfuscated
+// interface: seed in, z out. The training oracle runs on the batch engine
+// with the given worker count.
+func TrainObfuscatedModel(oracle *ObfuscatedOracle, nTrain, epochs int, src *rng.Source, workers int) *MLModel {
+	bits := oracle.dev.Design().ResponseBits()
+	seeds := make([]uint32, nTrain)
+	xs := make([][]float64, nTrain)
+	for k := range seeds {
+		seeds[k] = uint32(src.Uint64())
+		xs[k] = seedFeatures(seeds[k])
+	}
+	ys := oracle.ZBatch(seeds, workers)
 	return &MLModel{
 		width:    32,
 		bits:     bits,
@@ -206,15 +240,19 @@ func (m *MLModel) PredictZ(seed uint32) []uint8 {
 	return out
 }
 
-// AccuracyObfuscated measures the obfuscated model on fresh seeds.
-func (m *MLModel) AccuracyObfuscated(oracle *ObfuscatedOracle, nTest int, src *rng.Source) float64 {
+// AccuracyObfuscated measures the obfuscated model on fresh seeds, with the
+// oracle running on the batch engine.
+func (m *MLModel) AccuracyObfuscated(oracle *ObfuscatedOracle, nTest int, src *rng.Source, workers int) float64 {
+	seeds := make([]uint32, nTest)
+	for k := range seeds {
+		seeds[k] = uint32(src.Uint64())
+	}
+	wants := oracle.ZBatch(seeds, workers)
 	correct, total := 0, 0
-	for k := 0; k < nTest; k++ {
-		seed := uint32(src.Uint64())
-		want := oracle.Z(seed)
-		got := m.PredictZ(seed)
-		for i := range want {
-			if got[i] == want[i] {
+	for k := range seeds {
+		got := m.PredictZ(seeds[k])
+		for i := range wants[k] {
+			if got[i] == wants[k][i] {
 				correct++
 			}
 			total++

@@ -1,0 +1,66 @@
+package attacks
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pufatt/internal/core"
+	"pufatt/internal/rng"
+)
+
+// Training-set generation runs on the parallel batch engine; the trained
+// weights must be bit-identical for every worker count, because the labels
+// are noiseless (deterministic physics) and SGD ordering depends only on
+// the caller's RNG.
+func TestParallelDeterminismTraining(t *testing.T) {
+	counts := []int{1, 4, 0}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	var refRaw, refObf *MLModel
+	for i, w := range counts {
+		dev := core.MustNewDevice(core.MustNewDesign(cfg), rng.New(80), 0)
+		m := TrainRawModel(dev, 400, 5, rng.New(81), w)
+		oracle, err := NewObfuscatedOracle(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mo := TrainObfuscatedModel(oracle, 200, 5, rng.New(82), w)
+		if i == 0 {
+			refRaw, refObf = m, mo
+			continue
+		}
+		if !reflect.DeepEqual(m.weights, refRaw.weights) {
+			t.Errorf("raw model weights at workers=%d differ from workers=%d", w, counts[0])
+		}
+		if !reflect.DeepEqual(mo.weights, refObf.weights) {
+			t.Errorf("obfuscated model weights at workers=%d differ from workers=%d", w, counts[0])
+		}
+	}
+}
+
+// ZBatch must agree bit-for-bit with the sequential oracle.
+func TestZBatchMatchesSequential(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	dev := core.MustNewDevice(core.MustNewDesign(cfg), rng.New(83), 0)
+	oracle, err := NewObfuscatedOracle(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(84)
+	seeds := make([]uint32, 50)
+	for k := range seeds {
+		seeds[k] = uint32(src.Uint64())
+	}
+	batch := oracle.ZBatch(seeds, 3)
+	for k, seed := range seeds {
+		if want := oracle.Z(seed); !bytes.Equal(batch[k], want) {
+			t.Fatalf("seed %#x: batch z %v, sequential %v", seed, batch[k], want)
+		}
+	}
+}

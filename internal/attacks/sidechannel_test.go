@@ -26,7 +26,7 @@ func TestAggregatePowerLeakInsufficient(t *testing.T) {
 	// obfuscation's designers rely on.
 	dev, oracle := scFixture(t)
 	m := TrainWithSideChannel(oracle, PowerModel{SigmaHW: 0.5}, 800, 15, rng.New(71))
-	raw := m.AccuracyRaw(dev, 300, rng.New(72))
+	raw := m.AccuracyRaw(dev, 300, rng.New(72), 0)
 	z := SideChannelZAccuracy(m, oracle, 200, rng.New(73))
 	if raw < 0.55 {
 		t.Errorf("weight regression learned nothing at all: raw %.3f", raw)
@@ -41,7 +41,7 @@ func TestPerBitEMLeakBreaksObfuscation(t *testing.T) {
 	// and the combined attack of [18] succeeds despite the XOR network.
 	dev, oracle := scFixture(t)
 	m := TrainWithSideChannel(oracle, PowerModel{SigmaHW: 0.3, PerBit: true}, 800, 15, rng.New(74))
-	raw := m.AccuracyRaw(dev, 300, rng.New(75))
+	raw := m.AccuracyRaw(dev, 300, rng.New(75), 0)
 	z := SideChannelZAccuracy(m, oracle, 200, rng.New(76))
 	if raw < 0.95 {
 		t.Errorf("per-bit leak should give near-perfect raw models, got %.3f", raw)

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pufatt/internal/rng"
+	"pufatt/internal/sim"
+)
+
+// This file is the parallel batch-evaluation layer: every paper-scale
+// campaign (Figure 3/4, the FNR Monte-Carlo, ML-attack training sets) is a
+// large batch of independent challenge evaluations on one or more devices,
+// and the levelized engine is cheaply cloneable, so the batch fans out
+// across a bounded worker pool.
+//
+// Determinism is the design constraint. A Device's sequential RawResponse
+// draws arbiter noise from one rolling stream, which a parallel schedule
+// would consume in a racy order. The batch evaluator instead derives an
+// independent noise stream per challenge — seeded by (device noise seed,
+// batch epoch, item index) via rng.SubSeedN — so the result matrix is
+// bit-identical for every worker count, including workers=1, and replays
+// exactly for a given device history regardless of GOMAXPROCS.
+
+// batchChunk is how many consecutive items a worker claims per dispatch:
+// large enough to amortise the atomic fetch-add, small enough to balance
+// tail latency on uneven netlists.
+const batchChunk = 32
+
+// BatchEvaluator fans challenge batches of one device across a bounded
+// worker pool of cloned simulation engines. Create one per device (or use
+// the Device.RawResponses family, which manages one lazily); it must not be
+// used concurrently with other evaluations on the same device, but its own
+// workers coordinate internally.
+type BatchEvaluator struct {
+	dev  *Device
+	pool *sim.Pool
+}
+
+// NewBatchEvaluator returns a batch evaluator over the device.
+func NewBatchEvaluator(dev *Device) *BatchEvaluator {
+	return &BatchEvaluator{
+		dev:  dev,
+		pool: sim.NewPool(dev.design.datapath.Net, dev.tables[dev.cond]),
+	}
+}
+
+// batcher returns the device's lazily created batch evaluator.
+func (dev *Device) batcher() *BatchEvaluator {
+	if dev.batch == nil {
+		dev.batch = NewBatchEvaluator(dev)
+	}
+	return dev.batch
+}
+
+// RawResponses measures raw responses (with per-evaluation arbiter noise)
+// for every challenge, fanning the batch across workers goroutines
+// (0 = GOMAXPROCS). Row k of the result is the response to challenges[k];
+// rows are caller-owned fresh storage, carved from one backing allocation.
+// Results are bit-identical for every worker count.
+func (dev *Device) RawResponses(challenges [][]uint8, workers int) [][]uint8 {
+	return dev.batcher().RawResponses(challenges, nil, workers)
+}
+
+// NoiselessResponses is RawResponses without arbiter noise: the idealised
+// expected responses at the current corner, evaluated in parallel.
+func (dev *Device) NoiselessResponses(challenges [][]uint8, workers int) [][]uint8 {
+	return dev.batcher().NoiselessResponses(challenges, nil, workers)
+}
+
+// MajorityResponses measures votes-fold temporal-majority responses for
+// every challenge in parallel. votes must be odd.
+func (dev *Device) MajorityResponses(challenges [][]uint8, votes, workers int) [][]uint8 {
+	return dev.batcher().MajorityResponses(challenges, nil, votes, workers)
+}
+
+// RawResponses evaluates the batch with arbiter noise. dst, when non-nil,
+// must have len(challenges) rows of ResponseBits bytes and is reused (the
+// allocation-free steady state for blocked sweeps); pass nil to allocate.
+func (be *BatchEvaluator) RawResponses(challenges, dst [][]uint8, workers int) [][]uint8 {
+	return be.run(challenges, dst, workers, 1, true)
+}
+
+// NoiselessResponses evaluates the batch without arbiter noise.
+func (be *BatchEvaluator) NoiselessResponses(challenges, dst [][]uint8, workers int) [][]uint8 {
+	return be.run(challenges, dst, workers, 1, false)
+}
+
+// MajorityResponses evaluates the batch with votes-fold temporal majority
+// voting per challenge (votes odd).
+func (be *BatchEvaluator) MajorityResponses(challenges, dst [][]uint8, votes, workers int) [][]uint8 {
+	if votes < 1 || votes%2 == 0 {
+		panic(fmt.Sprintf("core: majority votes %d must be odd and positive", votes))
+	}
+	return be.run(challenges, dst, workers, votes, true)
+}
+
+// ResponseMatrix allocates a dst matrix for reuse across batch calls: rows
+// response-width slices carved from one backing array.
+func (be *BatchEvaluator) ResponseMatrix(rows int) [][]uint8 {
+	return responseMatrix(rows, be.dev.design.ResponseBits())
+}
+
+func responseMatrix(rows, bits int) [][]uint8 {
+	backing := make([]uint8, rows*bits)
+	m := make([][]uint8, rows)
+	for k := range m {
+		m[k] = backing[k*bits : (k+1)*bits : (k+1)*bits]
+	}
+	return m
+}
+
+// ChallengeMatrix allocates a challenge matrix (rows × ChallengeBits) from
+// one backing array, for batch producers to fill via ExpandChallengeInto.
+func ChallengeMatrix(d *Design, rows int) [][]uint8 {
+	bits := d.ChallengeBits()
+	backing := make([]uint8, rows*bits)
+	m := make([][]uint8, rows)
+	for k := range m {
+		m[k] = backing[k*bits : (k+1)*bits : (k+1)*bits]
+	}
+	return m
+}
+
+// run is the shared fan-out. Each item k is evaluated with a noise stream
+// derived from (device noise seed, batch epoch, k): independent of the
+// worker that runs it and of how many workers exist.
+func (be *BatchEvaluator) run(challenges, dst [][]uint8, workers, votes int, noisy bool) [][]uint8 {
+	dev := be.dev
+	bits := dev.design.ResponseBits()
+	chBits := 2 * dev.design.cfg.Width
+	for k, ch := range challenges {
+		if len(ch) != chBits {
+			panic(fmt.Sprintf("core: challenge %d of %d bits, want %d", k, len(ch), chBits))
+		}
+	}
+	if dst == nil {
+		dst = responseMatrix(len(challenges), bits)
+	} else if len(dst) < len(challenges) {
+		panic(fmt.Sprintf("core: dst of %d rows for %d challenges", len(dst), len(challenges)))
+	}
+	dst = dst[:len(challenges)]
+	epoch := dev.batchEpochs
+	dev.batchEpochs++
+	if len(challenges) == 0 {
+		return dst
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(challenges) {
+		workers = len(challenges)
+	}
+
+	// Per-batch constants, all read-only under the workers.
+	tab := dev.tables[dev.cond]
+	be.pool.SetDelays(tab)
+	jitter := 0.0
+	if noisy {
+		jitter = dev.design.cfg.JitterPs * dev.jitterScale
+	}
+	noiseBase := dev.noise.Sub(fmt.Sprintf("batch/%d", epoch))
+
+	start := time.Now()
+	var next atomic.Int64
+	work := func(eng *sim.Engine) {
+		var noise rng.Source
+		counts := make([]int, bits)
+		for {
+			lo := int(next.Add(batchChunk)) - batchChunk
+			if lo >= len(challenges) {
+				return
+			}
+			hi := lo + batchChunk
+			if hi > len(challenges) {
+				hi = len(challenges)
+			}
+			for k := lo; k < hi; k++ {
+				if noisy {
+					noise.Reinit(noiseBase.SubSeedN("item", k))
+				}
+				evalOne(dev, eng, challenges[k], dst[k], counts, &noise, jitter, votes, noisy)
+			}
+		}
+	}
+	if workers == 1 {
+		// Sequential fast path: same item→noise mapping, no goroutines.
+		eng := be.pool.Get()
+		work(eng)
+		be.pool.Put(eng)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				batchWorkersBusy.Add(1)
+				defer batchWorkersBusy.Add(-1)
+				eng := be.pool.Get()
+				defer be.pool.Put(eng)
+				work(eng)
+			}()
+		}
+		wg.Wait()
+	}
+
+	dev.queries += uint64(len(challenges) * votes)
+	batchBatches.Inc()
+	batchItems.Add(uint64(len(challenges)))
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		// One engine pass per item (votes share a deterministic pass).
+		gates := float64(len(challenges)) * float64(be.pool.GatesPerRun())
+		batchGateEvalRate.Set(gates / elapsed)
+	}
+	return dst
+}
+
+// evalOne measures one challenge into out using the worker-local engine,
+// vote counter, and (already reinitialised) noise stream. It is the batch
+// analogue of Device.RawResponse/NoiselessResponse/MajorityResponse and
+// must stay in lockstep with them physically: same arrival deltas, same
+// jitter model, same majority rule.
+func evalOne(dev *Device, eng *sim.Engine, challenge, out []uint8, counts []int, noise *rng.Source, jitter float64, votes int, noisy bool) {
+	if !noisy {
+		_, arr := eng.Run(challenge)
+		for i := range out {
+			if dev.arrivalDelta(arr, i) > 0 {
+				out[i] = 1
+			} else {
+				out[i] = 0
+			}
+		}
+		return
+	}
+	if votes == 1 {
+		_, arr := eng.Run(challenge)
+		for i := range out {
+			d := dev.arrivalDelta(arr, i)
+			if jitter > 0 {
+				d += noise.NormMS(0, jitter)
+			}
+			if d > 0 {
+				out[i] = 1
+			} else {
+				out[i] = 0
+			}
+		}
+		return
+	}
+	// The levelized engine is deterministic, so one Run serves every vote:
+	// only the per-vote arbiter noise differs. (The sequential
+	// MajorityResponse re-runs the engine per vote; the physics is
+	// identical, this just skips votes-1 redundant passes.)
+	_, arr := eng.Run(challenge)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for v := 0; v < votes; v++ {
+		for i := range counts {
+			d := dev.arrivalDelta(arr, i)
+			if jitter > 0 {
+				d += noise.NormMS(0, jitter)
+			}
+			if d > 0 {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if 2*c > votes {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}

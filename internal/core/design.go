@@ -228,13 +228,22 @@ func (d *Design) ExpandOperands(seed uint64, j int) (a, b uint32) {
 // challenges from one seed with this public expansion (a mixing function,
 // not a secret). Widths above 32 repeat the operand words.
 func (d *Design) ExpandChallenge(seed uint64, j int) []uint8 {
-	a, b := d.ExpandOperands(seed, j)
-	ch := make([]uint8, 2*d.cfg.Width)
-	for i := 0; i < d.cfg.Width; i++ {
-		ch[i] = uint8(a >> uint(i%32) & 1)
-		ch[d.cfg.Width+i] = uint8(b >> uint(i%32) & 1)
+	return d.ExpandChallengeInto(make([]uint8, 2*d.cfg.Width), seed, j)
+}
+
+// ExpandChallengeInto is ExpandChallenge into caller-owned storage (which
+// must have length ChallengeBits). Batch producers use it to fill
+// preallocated challenge matrices without a per-challenge allocation.
+func (d *Design) ExpandChallengeInto(dst []uint8, seed uint64, j int) []uint8 {
+	if len(dst) != 2*d.cfg.Width {
+		panic(fmt.Sprintf("core: challenge buffer of %d bits, want %d", len(dst), 2*d.cfg.Width))
 	}
-	return ch
+	a, b := d.ExpandOperands(seed, j)
+	for i := 0; i < d.cfg.Width; i++ {
+		dst[i] = uint8(a >> uint(i%32) & 1)
+		dst[d.cfg.Width+i] = uint8(b >> uint(i%32) & 1)
+	}
+	return dst
 }
 
 // ChallengeFromOperands builds a challenge bit-vector from two operand

@@ -35,6 +35,11 @@ type Device struct {
 	agingVth []float64
 	agingSrc *rng.Source
 	cones    map[int][]int
+	// batch is the lazily created parallel evaluator (see batch.go);
+	// batchEpochs counts batch invocations so each batch draws fresh,
+	// worker-count-independent per-challenge noise streams.
+	batch       *BatchEvaluator
+	batchEpochs uint64
 }
 
 // NewDevice manufactures chip chipID of the design, drawing its process
@@ -126,7 +131,13 @@ func (dev *Device) ExtraSkewPs() []float64 { return dev.extraSkewPs }
 // RawResponse measures the raw (pre-correction, pre-obfuscation) PUF
 // response to the challenge at the current corner, including per-evaluation
 // arbiter noise. Response bit i is 1 when ALU 0's output settles first.
-// The returned slice is reused by the next call.
+//
+// Aliasing contract: the returned slice is device-owned scratch, overwritten
+// in place by the next RawResponse/MajorityResponse/ClockedResponse call —
+// finish reading (or copy) before querying again, and never retain it.
+// Callers that need stable storage use RawResponseCopy; batch callers use
+// RawResponses, whose rows are caller-owned. TestRawResponseAliasingContract
+// enforces this.
 func (dev *Device) RawResponse(challenge []uint8) []uint8 {
 	arr := dev.arrivals(challenge)
 	jitter := dev.design.cfg.JitterPs * dev.jitterScale

@@ -14,3 +14,17 @@ var (
 	eccCorrectedBits = telemetry.Default().Counter("ecc_corrected_bits_total",
 		"Raw response bits corrected by the secure sketch during recovery.")
 )
+
+// Batch-evaluation instruments (batch.go). The gate-eval rate gauge is the
+// headline throughput number of the parallel engine; workers-busy exposes
+// fan-out saturation at a glance.
+var (
+	batchBatches = telemetry.Default().Counter("puf_batches_total",
+		"Batch evaluations dispatched through the parallel engine.")
+	batchItems = telemetry.Default().Counter("puf_batch_items_total",
+		"Challenges evaluated through the parallel batch engine.")
+	batchWorkersBusy = telemetry.Default().Gauge("puf_batch_workers_busy",
+		"Batch worker goroutines currently evaluating.")
+	batchGateEvalRate = telemetry.Default().Gauge("puf_batch_gate_evals_per_sec",
+		"Gate evaluations per second achieved by the most recent batch.")
+)

@@ -18,6 +18,17 @@ import (
 	"pufatt/internal/stats"
 )
 
+// The campaign hot loops run on the parallel batch evaluator (core.Batch-
+// Evaluator): challenges are expanded into preallocated matrices in blocks,
+// each block fans out across the worker pool, and per-challenge noise
+// streams keep results bit-identical for every worker count. Every campaign
+// takes a workers knob; 0 means GOMAXPROCS.
+//
+// blockSeeds bounds the challenge/response matrices held live at once, so a
+// paper-scale n=10^6 campaign stays within a few MB of scratch instead of
+// materialising the whole CRP set.
+const blockSeeds = 512
+
 // Fig3Result is the Figure 3 reproduction: inter-chip Hamming distance of
 // raw and obfuscated 32-bit responses.
 type Fig3Result struct {
@@ -38,8 +49,10 @@ func (r *Fig3Result) ObfMean() float64 { return r.ObfHist.Mean() }
 
 // Figure3 runs the inter-chip experiment: chips devices answer n common
 // challenge seeds; Hamming distances are accumulated over all chip pairs,
-// before and after obfuscation.
-func Figure3(cfg core.Config, chips, n int, seed uint64) (*Fig3Result, error) {
+// before and after obfuscation. The batch of eight expanded challenges per
+// seed is evaluated on the parallel engine with the given worker count
+// (0 = GOMAXPROCS); results are identical for every worker count.
+func Figure3(cfg core.Config, chips, n int, seed uint64, workers int) (*Fig3Result, error) {
 	if chips < 2 {
 		return nil, fmt.Errorf("experiments: figure 3 needs >= 2 chips, have %d", chips)
 	}
@@ -69,26 +82,54 @@ func Figure3(cfg core.Config, chips, n int, seed uint64) (*Fig3Result, error) {
 		PaperObfMean: 14.28,
 	}
 	chSrc := rng.New(seed).Sub("challenges/fig3")
-	raws := make([][]uint8, chips)
-	zs := make([][]uint8, chips)
-	group := make([][]uint8, obfuscate.ResponsesPerOutput)
-	for k := 0; k < n; k++ {
-		s := chSrc.Uint64()
-		for c, dev := range devs {
-			for j := 0; j < obfuscate.ResponsesPerOutput; j++ {
-				group[j] = dev.RawResponseCopy(design.ExpandChallenge(s, j))
-			}
-			raws[c] = group[0]
-			z, err := net.Apply(group)
-			if err != nil {
-				return nil, err
-			}
-			zs[c] = z
+	seeds := make([]uint64, n)
+	for k := range seeds {
+		seeds[k] = chSrc.Uint64()
+	}
+
+	G := obfuscate.ResponsesPerOutput
+	blk := blockSeeds
+	if blk > n {
+		blk = n
+	}
+	challenges := core.ChallengeMatrix(design, blk*G)
+	evals := make([]*core.BatchEvaluator, chips)
+	resp := make([][][]uint8, chips)
+	zs := make([][][]uint8, chips)
+	for c, dev := range devs {
+		evals[c] = core.NewBatchEvaluator(dev)
+		resp[c] = evals[c].ResponseMatrix(blk * G)
+		zs[c] = make([][]uint8, blk)
+	}
+	group := make([][]uint8, G)
+	for start := 0; start < n; start += blk {
+		cnt := blk
+		if n-start < cnt {
+			cnt = n - start
 		}
-		for a := 0; a < chips; a++ {
-			for b := a + 1; b < chips; b++ {
-				res.RawHist.Add(stats.HammingDistance(raws[a], raws[b]))
-				res.ObfHist.Add(stats.HammingDistance(zs[a], zs[b]))
+		rows := cnt * G
+		for k := 0; k < cnt; k++ {
+			for j := 0; j < G; j++ {
+				design.ExpandChallengeInto(challenges[k*G+j], seeds[start+k], j)
+			}
+		}
+		for c := range devs {
+			out := evals[c].RawResponses(challenges[:rows], resp[c], workers)
+			for k := 0; k < cnt; k++ {
+				copy(group, out[k*G:(k+1)*G])
+				z, err := net.Apply(group)
+				if err != nil {
+					return nil, err
+				}
+				zs[c][k] = z
+			}
+		}
+		for k := 0; k < cnt; k++ {
+			for a := 0; a < chips; a++ {
+				for b := a + 1; b < chips; b++ {
+					res.RawHist.Add(stats.HammingDistance(resp[a][k*G], resp[b][k*G]))
+					res.ObfHist.Add(stats.HammingDistance(zs[a][k], zs[b][k]))
+				}
 			}
 		}
 	}
@@ -147,8 +188,10 @@ type Fig4Result struct {
 }
 
 // Figure4 measures intra-chip HD of one device against its enrolled
-// nominal reference across the paper's operating corners.
-func Figure4(cfg core.Config, n int, seed uint64) (*Fig4Result, error) {
+// nominal reference across the paper's operating corners, evaluating each
+// corner's challenge sweep on the parallel batch engine (workers knob,
+// 0 = GOMAXPROCS; results identical for every worker count).
+func Figure4(cfg core.Config, n int, seed uint64, workers int) (*Fig4Result, error) {
 	design, err := core.NewDesign(cfg)
 	if err != nil {
 		return nil, err
@@ -173,28 +216,64 @@ func Figure4(cfg core.Config, n int, seed uint64) (*Fig4Result, error) {
 	}
 	chSrc := rng.New(seed).Sub("challenges/fig4")
 	seeds := make([]uint64, n)
-	refs := make([][]uint8, n)
-	dev.SetConditions(delay.Nominal())
 	for k := range seeds {
 		seeds[k] = chSrc.Uint64()
-		refs[k] = append([]uint8(nil), dev.NoiselessResponse(design.ExpandChallenge(seeds[k], 0))...)
 	}
+	blk := blockSeeds
+	if blk > n {
+		blk = n
+	}
+	be := core.NewBatchEvaluator(dev)
+	challenges := core.ChallengeMatrix(design, blk)
+	rawDst := be.ResponseMatrix(blk)
+	votedDst := be.ResponseMatrix(blk)
+	refs := be.ResponseMatrix(n)
+	fillBlock := func(start, cnt int) {
+		for k := 0; k < cnt; k++ {
+			design.ExpandChallengeInto(challenges[k], seeds[start+k], 0)
+		}
+	}
+
+	// Enrollment: noiseless nominal references for every seed.
+	dev.SetConditions(delay.Nominal())
+	for start := 0; start < n; start += blk {
+		cnt := blk
+		if n-start < cnt {
+			cnt = n - start
+		}
+		fillBlock(start, cnt)
+		be.NoiselessResponses(challenges[:cnt], refs[start:start+cnt], workers)
+	}
+
 	var grand stats.Summary
 	var votedErrs, votedNominal stats.Summary
+	nVoted := n / 4 // voted measurement is 5× the cost; sample it
 	for ci := range corners {
 		dev.SetConditions(corners[ci].Cond)
 		hist := stats.NewHistogram(bits + 1)
-		for k := range seeds {
-			ch := design.ExpandChallenge(seeds[k], 0)
-			hd := stats.HammingDistance(refs[k], dev.RawResponse(ch))
-			hist.Add(hd)
-			grand.Add(float64(hd))
-			if k < n/4 { // voted measurement is 5× the cost; sample it
-				voted := dev.MajorityResponse(ch, 5)
-				vhd := float64(stats.HammingDistance(refs[k], voted))
-				votedErrs.Add(vhd)
-				if ci == 0 {
-					votedNominal.Add(vhd)
+		for start := 0; start < n; start += blk {
+			cnt := blk
+			if n-start < cnt {
+				cnt = n - start
+			}
+			fillBlock(start, cnt)
+			raw := be.RawResponses(challenges[:cnt], rawDst, workers)
+			for k := 0; k < cnt; k++ {
+				hd := stats.HammingDistance(refs[start+k], raw[k])
+				hist.Add(hd)
+				grand.Add(float64(hd))
+			}
+			if vcnt := nVoted - start; vcnt > 0 {
+				if vcnt > cnt {
+					vcnt = cnt
+				}
+				voted := be.MajorityResponses(challenges[:vcnt], votedDst, 5, workers)
+				for k := 0; k < vcnt; k++ {
+					vhd := float64(stats.HammingDistance(refs[start+k], voted[k]))
+					votedErrs.Add(vhd)
+					if ci == 0 {
+						votedNominal.Add(vhd)
+					}
 				}
 			}
 		}

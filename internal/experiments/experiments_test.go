@@ -10,7 +10,7 @@ import (
 )
 
 func TestFigure3SmallRun(t *testing.T) {
-	res, err := Figure3(core.DefaultConfig(), 2, 1500, 1)
+	res, err := Figure3(core.DefaultConfig(), 2, 1500, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,13 +36,13 @@ func TestFigure3SmallRun(t *testing.T) {
 }
 
 func TestFigure3NeedsTwoChips(t *testing.T) {
-	if _, err := Figure3(core.DefaultConfig(), 1, 10, 1); err == nil {
+	if _, err := Figure3(core.DefaultConfig(), 1, 10, 1, 0); err == nil {
 		t.Error("one-chip figure 3 accepted")
 	}
 }
 
 func TestFigure3MoreChipsPairwise(t *testing.T) {
-	res, err := Figure3(core.DefaultConfig(), 3, 200, 2)
+	res, err := Figure3(core.DefaultConfig(), 3, 200, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestFigure3MoreChipsPairwise(t *testing.T) {
 }
 
 func TestFigure4SmallRun(t *testing.T) {
-	res, err := Figure4(core.DefaultConfig(), 800, 3)
+	res, err := Figure4(core.DefaultConfig(), 800, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestFigure4SmallRun(t *testing.T) {
 }
 
 func TestFigure4CornersStayMetastabilityDominated(t *testing.T) {
-	res, err := Figure4(core.DefaultConfig(), 600, 4)
+	res, err := Figure4(core.DefaultConfig(), 600, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

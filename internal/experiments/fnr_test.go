@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"pufatt/internal/core"
@@ -34,5 +35,30 @@ func TestMeasuredPipelineFNR(t *testing.T) {
 	// operating point the pipeline should essentially never fail.
 	if fails > 2 {
 		t.Errorf("PUF() recovery failed %d/%d times; reliability regression", fails, N)
+	}
+}
+
+func TestFNRMonteCarloSmallRun(t *testing.T) {
+	res, err := FNRMonteCarlo(core.DefaultConfig(), 400, 5, 92, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5-vote majority at the calibrated jitter sits near 1% per bit; the
+	// sketch corrects up to 7 of 32 bits, so recovery should essentially
+	// never fail at this scale.
+	if res.PerBitErr < 0.001 || res.PerBitErr > 0.05 {
+		t.Errorf("voted per-bit error %.4f outside the calibrated band", res.PerBitErr)
+	}
+	if res.Failures > 1 {
+		t.Errorf("sketch recovery failed %d/%d trials", res.Failures, res.Trials)
+	}
+	out := res.Format()
+	for _, want := range []string{"FNR Monte-Carlo", "per-bit error", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := FNRMonteCarlo(core.DefaultConfig(), 0, 5, 92, 0); err == nil {
+		t.Error("zero-trial run accepted")
 	}
 }

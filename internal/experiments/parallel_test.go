@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pufatt/internal/core"
+)
+
+// The experiment-level determinism guarantee: every figure built on the
+// batch engine is identical — not just statistically, but in every
+// histogram bucket — for any worker count, because noise streams derive
+// from (device seed, batch epoch, item index), never from worker identity
+// or scheduling order.
+
+func workerCounts() []int {
+	counts := []int{1, 4, 0} // 0 = GOMAXPROCS
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+func TestParallelDeterminismFigure3(t *testing.T) {
+	var ref *Fig3Result
+	for i, w := range workerCounts() {
+		res, err := Figure3(core.DefaultConfig(), 2, 400, 21, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("Figure3 at workers=%d differs from workers=1:\n%s\nvs\n%s",
+				w, res.Format(true), ref.Format(true))
+		}
+	}
+}
+
+func TestParallelDeterminismFigure4(t *testing.T) {
+	var ref *Fig4Result
+	for i, w := range workerCounts() {
+		res, err := Figure4(core.DefaultConfig(), 400, 22, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("Figure4 at workers=%d differs from workers=1:\n%s\nvs\n%s",
+				w, res.Format(true), ref.Format(true))
+		}
+	}
+}
+
+func TestParallelDeterminismFNR(t *testing.T) {
+	var ref *FNRResult
+	for i, w := range workerCounts() {
+		res, err := FNRMonteCarlo(core.DefaultConfig(), 200, 5, 23, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("FNR Monte-Carlo at workers=%d differs from workers=1:\n%s\nvs\n%s",
+				w, res.Format(), ref.Format())
+		}
+	}
+}

@@ -18,6 +18,9 @@ type SecurityConfig struct {
 	Seed   uint64
 	// MLTrain/MLTest size the modeling-attack datasets.
 	MLTrain, MLTest int
+	// Workers bounds the batch-evaluation fan-out for the ML oracles
+	// (0 = GOMAXPROCS).
+	Workers int
 	// OverclockFactors is the sweep grid for the PUF-corruption curve.
 	OverclockFactors []float64
 	OverclockTrials  int
@@ -182,14 +185,14 @@ func RunSecuritySuite(cfg SecurityConfig) (*SecurityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mlModel := attacks.TrainRawModel(mlDev, cfg.MLTrain, 25, rng.New(cfg.Seed+2))
-	res.MLRawAccuracy = mlModel.AccuracyRaw(mlDev, cfg.MLTest, rng.New(cfg.Seed+3))
+	mlModel := attacks.TrainRawModel(mlDev, cfg.MLTrain, 25, rng.New(cfg.Seed+2), cfg.Workers)
+	res.MLRawAccuracy = mlModel.AccuracyRaw(mlDev, cfg.MLTest, rng.New(cfg.Seed+3), cfg.Workers)
 	oracle, err := attacks.NewObfuscatedOracle(mlDev)
 	if err != nil {
 		return nil, err
 	}
-	obfModel := attacks.TrainObfuscatedModel(oracle, cfg.MLTrain, 25, rng.New(cfg.Seed+4))
-	res.MLObfAccuracy = obfModel.AccuracyObfuscated(oracle, cfg.MLTest/2, rng.New(cfg.Seed+5))
+	obfModel := attacks.TrainObfuscatedModel(oracle, cfg.MLTrain, 25, rng.New(cfg.Seed+4), cfg.Workers)
+	res.MLObfAccuracy = obfModel.AccuracyObfuscated(oracle, cfg.MLTest/2, rng.New(cfg.Seed+5), cfg.Workers)
 	full := 0
 	fz := rng.New(cfg.Seed + 6)
 	trials := cfg.MLTest / 2

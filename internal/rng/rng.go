@@ -53,16 +53,25 @@ type Source struct {
 // New returns a Source seeded from the given 64-bit seed. Distinct seeds
 // yield (with overwhelming probability) unrelated streams.
 func New(seed uint64) *Source {
-	src := Source{seed: seed}
+	src := &Source{}
+	src.Reinit(seed)
+	return src
+}
+
+// Reinit reseeds s in place, leaving it in exactly the state New(seed)
+// constructs. It exists so hot loops (the parallel batch evaluator derives
+// one noise stream per challenge) can reuse a worker-local Source instead of
+// allocating one per item.
+func (s *Source) Reinit(seed uint64) {
+	s.seed = seed
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&sm)
+	for i := range s.s {
+		s.s[i] = splitmix64(&sm)
 	}
 	// xoshiro must not start in the all-zero state.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // Sub derives an independent substream identified by label. Calling Sub with
@@ -70,17 +79,32 @@ func New(seed uint64) *Source {
 // stream, and different labels yield unrelated streams. Sub does not advance
 // the parent stream.
 func (s *Source) Sub(label string) *Source {
+	return New(s.SubSeed(label))
+}
+
+// SubSeed returns the seed Sub(label) would construct its stream from,
+// for callers that reinitialise a preallocated Source (see Reinit).
+func (s *Source) SubSeed(label string) uint64 {
 	mix := s.seed
 	mix ^= bits.RotateLeft64(splitmix64(&mix), 17) ^ fnv1a64(label)
-	return New(mix)
+	return mix
 }
 
 // SubN derives an independent substream identified by label and an index,
 // convenient for per-chip or per-gate streams.
 func (s *Source) SubN(label string, n int) *Source {
+	return New(s.SubSeedN(label, n))
+}
+
+// SubSeedN returns the seed SubN(label, n) would construct its stream from,
+// for callers that reinitialise a preallocated Source (see Reinit). The
+// batch evaluator uses it to derive a per-challenge noise stream with no
+// allocation: deterministic in (parent seed, label, n) only, so results do
+// not depend on which worker evaluates which item.
+func (s *Source) SubSeedN(label string, n int) uint64 {
 	mix := s.seed
 	mix ^= bits.RotateLeft64(splitmix64(&mix), 17) ^ fnv1a64(label) ^ (0x9e3779b97f4a7c15 * uint64(n+1))
-	return New(mix)
+	return mix
 }
 
 // Uint64 returns the next 64 pseudo-random bits (xoshiro256**).

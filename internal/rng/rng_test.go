@@ -203,3 +203,49 @@ func TestBitBalance(t *testing.T) {
 		t.Errorf("Bit produced %d ones in %d draws", ones, n)
 	}
 }
+
+func TestReinitMatchesNew(t *testing.T) {
+	var s Source
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		s.Reinit(seed)
+		fresh := New(seed)
+		for i := 0; i < 16; i++ {
+			if got, want := s.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed %#x output %d: Reinit %#x, New %#x", seed, i, got, want)
+			}
+		}
+		// Substream derivation must also match, since it keys off the
+		// construction seed.
+		if s.SubSeedN("x", 3) != fresh.SubSeedN("x", 3) {
+			t.Fatalf("seed %#x: SubSeedN diverges after Reinit", seed)
+		}
+	}
+}
+
+func TestSubSeedMatchesSub(t *testing.T) {
+	base := New(99)
+	a := base.Sub("noise")
+	b := New(base.SubSeed("noise"))
+	c := base.SubN("noise", 7)
+	d := New(base.SubSeedN("noise", 7))
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SubSeed stream diverges from Sub")
+		}
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("SubSeedN stream diverges from SubN")
+		}
+	}
+}
+
+func TestSubSeedNDistinctPerIndex(t *testing.T) {
+	base := New(7)
+	seen := make(map[uint64]int)
+	for n := 0; n < 1000; n++ {
+		seed := base.SubSeedN("item", n)
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("SubSeedN collision between items %d and %d", prev, n)
+		}
+		seen[seed] = n
+	}
+}

@@ -60,8 +60,36 @@ func (e *Engine) SetDelays(delays delay.Table) {
 	e.delays = delays
 }
 
-// Run evaluates the netlist for the given primary-input vector. The returned
-// slices are owned by the engine and valid until the next Run call.
+// Clone returns a new Engine over the same (immutable, shared) netlist and
+// delay table but with its own value/arrival scratch buffers. Cloning is the
+// cheap path to parallel evaluation: clones may run concurrently with each
+// other and with the original, as long as nobody calls SetDelays while runs
+// are in flight. See Pool for clone reuse.
+func (e *Engine) Clone() *Engine {
+	engineClones.Inc()
+	return &Engine{
+		nl:      e.nl,
+		delays:  e.delays,
+		values:  make([]uint8, len(e.nl.Gates)),
+		arrival: make([]float64, len(e.nl.Gates)),
+	}
+}
+
+// Netlist returns the engine's netlist (shared, read-only).
+func (e *Engine) Netlist() *netlist.Netlist { return e.nl }
+
+// GatesPerRun returns how many gates one Run call evaluates — the
+// denominator of the gate-evals/s throughput metric.
+func (e *Engine) GatesPerRun() int { return len(e.nl.Order) }
+
+// Run evaluates the netlist for the given primary-input vector.
+//
+// Aliasing contract: the returned slices are owned by the engine and are
+// overwritten in place by the next Run call — callers must finish reading
+// (or copy) them before re-running the engine, and must never retain them
+// across calls. TestRunAliasingContract enforces this so that callers which
+// accidentally rely on stable storage fail loudly rather than silently when
+// engine internals change.
 func (e *Engine) Run(inputs []uint8) (values []uint8, arrival []float64) {
 	nl := e.nl
 	if len(inputs) != len(nl.Inputs) {

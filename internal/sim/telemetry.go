@@ -14,4 +14,10 @@ var (
 		"Gates evaluated by the levelized engine.")
 	eventsProcessed = telemetry.Default().Counter("sim_events_processed_total",
 		"Events processed by the event-driven simulator.")
+	engineClones = telemetry.Default().Counter("sim_engine_clones_total",
+		"Levelized engines cloned for parallel evaluation.")
+	poolHits = telemetry.Default().Counter("sim_pool_hits_total",
+		"Pool Gets served from the free list (no clone needed).")
+	poolIdle = telemetry.Default().Gauge("sim_pool_idle_engines",
+		"Engines currently parked in pool free lists.")
 )

@@ -1,16 +1,28 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, one record per benchmark with ns/op, any custom
 // ReportMetric units, and the run's GOMAXPROCS suffix. It exists so `make
-// bench` can snapshot performance per PR (BENCH_PR2.json) in a form that
+// bench` can snapshot performance per PR (BENCH_PR<N>.json) in a form that
 // diffing tools and dashboards can consume without re-parsing Go's text
 // format.
+//
+// The compare subcommand diffs two snapshots and flags ns/op regressions:
+//
+//	benchjson compare BENCH_PR2.json BENCH_PR3.json
+//	benchjson compare -threshold 0.10 -critical 'Figure3|Figure4' -strict old.json new.json
+//
+// A benchmark regresses when its ns/op grows by more than the threshold
+// fraction. With -strict, regressions on benchmarks matching the critical
+// regexp exit non-zero, so CI can gate on the Figure 3/4 hot paths.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -23,40 +35,48 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// Doc is one snapshot file.
+type Doc struct {
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	Pkg        string   `json:"pkg"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
 func main() {
-	var results []Result
-	goos, goarch, pkg := "", "", ""
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
+	convertMain()
+}
+
+func convertMain() {
+	var doc Doc
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case strings.HasPrefix(line, "goos:"):
-			goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
 			continue
 		case strings.HasPrefix(line, "goarch:"):
-			goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		if r, ok := parseLine(line); ok {
-			results = append(results, r)
+			doc.Benchmarks = append(doc.Benchmarks, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
-	}
-	doc := map[string]any{
-		"goos":       goos,
-		"goarch":     goarch,
-		"pkg":        pkg,
-		"benchmarks": results,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -64,6 +84,107 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareMain diffs old vs new ns/op and reports regressions. Returns the
+// process exit code.
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "regression threshold as a fraction of old ns/op")
+	critical := fs.String("critical", "Figure3|Figure4", "regexp of benchmarks whose regressions are fatal with -strict")
+	strict := fs.Bool("strict", false, "exit non-zero on critical regressions")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold f] [-critical re] [-strict] old.json new.json")
+		return 2
+	}
+	crit, err := regexp.Compile(*critical)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -critical regexp:", err)
+		return 2
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldNs := nsByName(oldDoc)
+	newNs := nsByName(newDoc)
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	criticalRegressions := 0
+	for _, name := range names {
+		o := oldNs[name]
+		n, ok := newNs[name]
+		if !ok {
+			fmt.Printf("%-50s %14.1f %14s %8s\n", name, o, "-", "gone")
+			continue
+		}
+		delta := (n - o) / o
+		mark := ""
+		if delta > *threshold {
+			mark = "REGRESSION"
+			if crit.MatchString(name) {
+				mark = "REGRESSION (critical)"
+				criticalRegressions++
+			}
+		}
+		fmt.Printf("%-50s %14.1f %14.1f %+7.1f%% %s\n", name, o, n, 100*delta, mark)
+	}
+	for _, name := range sortedKeys(newNs) {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Printf("%-50s %14s %14.1f %8s\n", name, "-", newNs[name], "new")
+		}
+	}
+	if criticalRegressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) regressed by more than %.0f%%\n",
+			criticalRegressions, 100**threshold)
+		if *strict {
+			return 1
+		}
+	}
+	return 0
+}
+
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+func nsByName(doc *Doc) map[string]float64 {
+	m := make(map[string]float64, len(doc.Benchmarks))
+	for _, r := range doc.Benchmarks {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			m[r.Name] = ns
+		}
+	}
+	return m
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parseLine parses one benchmark result line of the form

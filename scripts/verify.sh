@@ -1,9 +1,11 @@
 #!/bin/sh
 # verify.sh — the repository's verification gate.
 #
-# Runs the tier-1 commands (build + full test suite), static vetting, and
-# the race-detected attestation robustness tests (which exercise every
-# injected fault class: drop, corrupt, truncate, delay, duplicate).
+# Runs the tier-1 commands (build + full test suite), static vetting, the
+# race-detected attestation robustness tests (which exercise every
+# injected fault class: drop, corrupt, truncate, delay, duplicate), and
+# the race-detected parallel batch-evaluation packages plus a targeted
+# determinism smoke across the packages that fan work out to goroutines.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,5 +29,11 @@ go test ./...
 
 echo "== go test -race ./internal/attest/... (fault-injection suite)"
 go test -race ./internal/attest/...
+
+echo "== go test -race sim/core/experiments (parallel batch engine)"
+go test -race ./internal/sim/... ./internal/core/... ./internal/experiments/...
+
+echo "== go test -race -run TestParallelDeterminism (smoke across fan-out users)"
+go test -race -run TestParallelDeterminism ./internal/core/... ./internal/experiments/... ./internal/attacks/...
 
 echo "verify: OK"
