@@ -16,6 +16,7 @@ import (
 	"pufatt/internal/attest"
 	"pufatt/internal/bch"
 	"pufatt/internal/core"
+	crpstore "pufatt/internal/crp/store"
 	"pufatt/internal/delay"
 	"pufatt/internal/ecc"
 	"pufatt/internal/experiments"
@@ -626,6 +627,96 @@ func BenchmarkSyndromeGenerate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Generate(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStorePool installs a synthetic enrollment (reference rows drawn
+// once, shared) so the store benchmarks measure persistence machinery, not
+// device simulation.
+func benchStorePool(b *testing.B, n int) *crpstore.Store {
+	b.Helper()
+	const bits = 32
+	row := make([]uint8, bits)
+	rng.New(37).Bits(row)
+	seeds := make([]uint64, n)
+	refs := make([][]uint8, n*obfuscate.ResponsesPerOutput)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	for k := range refs {
+		refs[k] = row
+	}
+	st, err := crpstore.Create(b.TempDir(), 0, bits, seeds, refs, crpstore.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkCRPStoreClaim measures the durable claim path — one WAL append
+// per claim (NoSync: ordering preserved, fsync elided) — recycling the
+// seed pool off the clock whenever it drains.
+func BenchmarkCRPStoreClaim(b *testing.B) {
+	const pool = 4096
+	st := benchStorePool(b, pool)
+	defer func() { st.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.NextUnused(); err != nil {
+			b.StopTimer()
+			st.Close()
+			st = benchStorePool(b, pool)
+			b.StartTimer()
+			if _, err := st.NextUnused(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCRPStoreOpen measures verifier restart cost: snapshot load
+// (4096 seeds × 8 references) plus replay of a 512-record claim WAL.
+func BenchmarkCRPStoreOpen(b *testing.B) {
+	st := benchStorePool(b, 4096)
+	for i := 0; i < 512; i++ {
+		if _, err := st.NextUnused(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dir := st.Dir()
+	st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := crpstore.Open(dir, crpstore.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		re.Close()
+	}
+}
+
+// BenchmarkCRPStoreCompact measures folding a full claim WAL into a fresh
+// snapshot (write + atomic rename, fsync elided).
+func BenchmarkCRPStoreCompact(b *testing.B) {
+	st := benchStorePool(b, 4096)
+	defer func() { st.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if st.Remaining() == 0 {
+			st.Close()
+			st = benchStorePool(b, 4096)
+		}
+		if _, err := st.NextUnused(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := st.Compact(); err != nil {
 			b.Fatal(err)
 		}
 	}

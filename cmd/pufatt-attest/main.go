@@ -18,6 +18,14 @@
 // -fault-corrupt, -fault-truncate, -fault-delay, -fault-dup, under
 // -fault-seed) mangles the verifier's frames so the recovery machinery can
 // be demonstrated against a live prover service.
+//
+// Durable CRP budget: -store-dir points the verifier at a persistent
+// enrollment store; each session claims one single-use seed, and claims
+// survive restarts (crash-safe via snapshot + WAL). Maintenance:
+//
+//	pufatt-attest -store-dir /var/lib/pufatt/chip0 -enroll 1024
+//	pufatt-attest -store-dir /var/lib/pufatt/chip0 -compact
+//	pufatt-attest -store-dir /var/lib/pufatt/chip0 -mode local -sessions 3
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"pufatt/internal/attest"
 	"pufatt/internal/buildinfo"
 	"pufatt/internal/core"
+	"pufatt/internal/crp/store"
 	"pufatt/internal/mcu"
 	"pufatt/internal/rng"
 	"pufatt/internal/swatt"
@@ -64,6 +73,11 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve /metrics, /debug/vars, /debug/traces, and /debug/pprof on this address (empty = disabled)")
+
+		storeDir = flag.String("store-dir", "",
+			"durable CRP store directory: verifier sessions claim single-use seeds that survive restarts (empty = emulation model, no budget)")
+		enroll  = flag.Int("enroll", 0, "enroll N fresh seeds into -store-dir and exit")
+		compact = flag.Bool("compact", false, "fold the -store-dir claim WAL into its snapshot and exit")
 	)
 	version := buildinfo.VersionFlags("pufatt-attest")
 	flag.Parse()
@@ -79,6 +93,21 @@ func main() {
 	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
 	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)
 	check(err)
+
+	if *enroll > 0 || *compact {
+		check(storeAdmin(*storeDir, *enroll, *compact, dev))
+		return
+	}
+	var budget attest.SeedBudget
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.DefaultOptions())
+		check(err)
+		defer st.Close()
+		budget = st
+		fmt.Printf("crp store: %s — %d of %d seeds remaining, %d WAL record(s) replayed\n",
+			*storeDir, st.Remaining(), st.Len(), st.WALRecords())
+	}
+
 	port, err := mcu.NewDevicePort(dev)
 	check(err)
 	payload := make([]uint32, 512)
@@ -110,6 +139,9 @@ func main() {
 	newVerifier := func() *attest.Verifier {
 		v, err := attest.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
 		check(err)
+		if budget != nil {
+			v.WithSeedBudget(budget)
+		}
 		return v
 	}
 
@@ -182,6 +214,40 @@ func report(i, attempts int, res attest.Result) {
 	}
 	fmt.Printf("session %d: %s in %d attempt(s) (elapsed %.4fs, δ %.4fs) %s\n",
 		i+1, verdict, attempts, res.Elapsed, res.Delta, res.Reason)
+}
+
+// storeAdmin handles the one-shot store maintenance modes: -enroll writes
+// a fresh durable enrollment, -compact folds the claim WAL into the
+// snapshot. Both exit without running sessions.
+func storeAdmin(dir string, enroll int, compact bool, dev *core.Device) error {
+	if dir == "" {
+		return fmt.Errorf("-enroll and -compact require -store-dir")
+	}
+	if enroll > 0 {
+		seeds := make([]uint64, enroll)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		st, err := store.Enroll(dir, dev, seeds, 0, store.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("enrolled %d seeds for chip %d into %s\n", enroll, dev.ChipID(), dir)
+		return nil
+	}
+	st, err := store.Open(dir, store.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	before := st.WALRecords()
+	if err := st.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d WAL record(s) folded into the snapshot, %d of %d seeds remaining\n",
+		dir, before, st.Remaining(), st.Len())
+	return nil
 }
 
 func check(err error) {

@@ -1,0 +1,64 @@
+package attest
+
+import "fmt"
+
+// SeedBudget is the verifier-side authentication budget of CRP-database
+// verification (paper Section 3.3): a supply of single-use enrolled seeds.
+// Claiming is the replay-protection boundary, so implementations must make
+// an acknowledged claim stick — crp.Database for in-process budgets,
+// store.Store and store.Registry handles for budgets that survive
+// restarts.
+type SeedBudget interface {
+	// NextUnused claims and returns the next unused enrolled seed. Once
+	// the budget is exhausted it returns crp.ErrExhausted, which the
+	// session machinery treats as terminal (never a transport fault, never
+	// retried).
+	NextUnused() (uint64, error)
+	// Remaining reports how many authentications the budget still covers.
+	Remaining() int
+}
+
+// WithSeedBudget binds a seed budget to the verifier: every NewSession
+// claims one seed and carries it as the challenge's x0 perturbation, so
+// the claim is protocol-bound — a session cannot be issued without
+// consuming budget, and a restart of a durable budget cannot resurrect a
+// seed some earlier session already used.
+func (v *Verifier) WithSeedBudget(b SeedBudget) *Verifier {
+	v.Seeds = b
+	return v
+}
+
+// claimSeed draws the session's x0 from the budget when one is configured.
+// The enrolled seed space is 64-bit; the challenge carries its low 32 bits
+// (the x0 width), which both sides mix identically.
+func (v *Verifier) claimSeed(ch *Challenge) error {
+	if v.Seeds == nil {
+		return nil
+	}
+	seed, err := v.Seeds.NextUnused()
+	if err != nil {
+		return fmt.Errorf("attest: claiming session seed: %w", err)
+	}
+	ch.PUFSeed = uint32(seed)
+	return nil
+}
+
+// BudgetRemaining reports the verifier's remaining authentication budget,
+// or -1 when no budget is bound (emulation-model verification is
+// unlimited).
+func (v *Verifier) BudgetRemaining() int {
+	if v.Seeds == nil {
+		return -1
+	}
+	return v.Seeds.Remaining()
+}
+
+// EnrollWithBudget registers a node whose verifier draws every session
+// seed from the budget. A fleet of nodes may share one budget (a common
+// enrollment pool) or hold one each; either way exhaustion surfaces as a
+// terminal session error, distinct from both transport faults and
+// integrity rejections.
+func (f *Fleet) EnrollWithBudget(nodeID int, v *Verifier, agent ProverAgent, b SeedBudget) error {
+	v.Seeds = b
+	return f.Enroll(nodeID, v, agent)
+}

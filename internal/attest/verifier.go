@@ -37,6 +37,11 @@ type Verifier struct {
 	// NetworkAllowance is the absolute time budget (seconds) added for
 	// message transfer and propagation.
 	NetworkAllowance float64
+	// Seeds, when non-nil, is the verifier's authentication budget: every
+	// session claims one enrolled single-use seed and binds it into the
+	// challenge (see budget.go). Nil means emulation-model verification
+	// with no budget.
+	Seeds SeedBudget
 
 	sessions uint64
 }
@@ -83,10 +88,20 @@ func (v *Verifier) Delta() float64 {
 	return float64(v.ExpectedCycles)/v.BaseFreqHz*(1+v.ComputeSlack) + v.NetworkAllowance
 }
 
-// NewSession draws a fresh challenge.
+// NewSession draws a fresh challenge. When a seed budget is bound, the
+// session first claims one single-use seed and carries it as the
+// challenge's x0 — so issuing a session IS consuming budget, and an
+// exhausted budget fails here with a terminal (non-transport) error.
 func (v *Verifier) NewSession() (Challenge, error) {
 	v.sessions++
-	return NewChallenge(v.sessions)
+	ch, err := NewChallenge(v.sessions)
+	if err != nil {
+		return Challenge{}, err
+	}
+	if err := v.claimSeed(&ch); err != nil {
+		return Challenge{}, err
+	}
+	return ch, nil
 }
 
 // Verify checks a prover response against the challenge and the observed

@@ -13,6 +13,7 @@ package crp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pufatt/internal/core"
 	"pufatt/internal/obfuscate"
@@ -32,12 +33,21 @@ type entry struct {
 
 // Database is an enrolled CRP store for one device. It implements
 // core.ReferenceSource, so a core.VerifierPipeline can run off it directly.
+//
+// A Database is safe for concurrent use: Claim is the replay-protection
+// boundary, and a fleet sweep claims seeds from many goroutines at once, so
+// every method that touches claim state serialises on one mutex. Reference
+// responses themselves are immutable after enrollment, so the slices
+// ReferenceResponse returns need no further synchronisation.
 type Database struct {
-	bits    int
-	chipID  int
+	bits   int
+	chipID int
+
+	mu      sync.Mutex
 	order   []uint64 // enrollment order, for NextUnused
 	entries map[uint64]*entry
 	cursor  int
+	unused  int // seeds not yet claimed; kept in sync by claim paths
 }
 
 // Enroll measures the device's noiseless reference responses for every
@@ -62,6 +72,7 @@ func Enroll(dev *core.Device, seeds []uint64) (*Database, error) {
 		db.entries[seed] = &entry{refs: refs}
 		db.order = append(db.order, seed)
 	}
+	db.unused = len(db.order)
 	enrolledSeeds.Add(uint64(len(db.order)))
 	return db, nil
 }
@@ -76,11 +87,14 @@ func (db *Database) ResponseBits() int { return db.bits }
 // been claimed (Claim or NextUnused) first; unclaimed seeds are rejected so
 // that a protocol bug cannot silently bypass replay protection.
 func (db *Database) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
+	db.mu.Lock()
 	e, ok := db.entries[seed]
+	used := ok && e.used
+	db.mu.Unlock()
 	if !ok {
 		return nil, ErrUnknownSeed
 	}
-	if !e.used {
+	if !used {
 		return nil, fmt.Errorf("crp: seed %#x not claimed before use", seed)
 	}
 	if j < 0 || j >= len(e.refs) {
@@ -91,8 +105,15 @@ func (db *Database) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
 }
 
 // Claim marks a seed as consumed. It fails on unknown or already-used
-// seeds; a seed can never be claimed twice.
+// seeds; a seed can never be claimed twice, even under concurrent claims.
 func (db *Database) Claim(seed uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.claimLocked(seed)
+}
+
+// claimLocked is Claim under an already-held db.mu.
+func (db *Database) claimLocked(seed uint64) error {
 	e, ok := db.entries[seed]
 	if !ok {
 		claims.With("unknown").Inc()
@@ -103,31 +124,39 @@ func (db *Database) Claim(seed uint64) error {
 		return ErrSeedUsed
 	}
 	e.used = true
+	db.unused--
 	claims.With("ok").Inc()
 	return nil
 }
 
 // NextUnused claims and returns the next unused seed in enrollment order.
+// Seeds already consumed by direct Claim calls are skipped silently: a skip
+// is bookkeeping, not a replay attempt, so it must not show up in the claim
+// telemetry's "replay" count.
 func (db *Database) NextUnused() (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for db.cursor < len(db.order) {
 		seed := db.order[db.cursor]
 		db.cursor++
-		if err := db.Claim(seed); err == nil {
+		if db.entries[seed].used {
+			continue
+		}
+		if err := db.claimLocked(seed); err == nil {
 			return seed, nil
 		}
 	}
+	claims.With("exhausted").Inc()
 	return 0, ErrExhausted
 }
 
 // Remaining returns how many authentications the database still supports.
+// It is O(1): the unused count is maintained by the claim paths rather than
+// recounted by a full map scan.
 func (db *Database) Remaining() int {
-	n := 0
-	for _, e := range db.entries {
-		if !e.used {
-			n++
-		}
-	}
-	return n
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.unused
 }
 
 // Len returns the number of enrolled seeds.

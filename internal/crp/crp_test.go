@@ -2,6 +2,8 @@ package crp
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"pufatt/internal/core"
@@ -126,6 +128,153 @@ func TestStorageScalesLinearly(t *testing.T) {
 	// 16-bit responses: 8 + 8*2 = 24 bytes per seed.
 	if got := db10.StorageBytes(); got != 240 {
 		t.Errorf("StorageBytes = %d, want 240", got)
+	}
+}
+
+// TestConcurrentClaims hammers Claim/NextUnused/Remaining/ReferenceResponse
+// from parallel goroutines — the fleet-sweep access pattern. Run under
+// -race (scripts/verify.sh does); the invariant checked here is that every
+// seed is granted to exactly one claimer and the bookkeeping stays exact.
+func TestConcurrentClaims(t *testing.T) {
+	dev := testDevice(t)
+	const n = 96
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	db, err := Enroll(dev, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var ok, replays atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, seed := range seeds {
+				// Interleave the three entry points: direct claims (all
+				// workers racing on the same seed), cursor claims, and the
+				// read-side paths.
+				switch i % 3 {
+				case 0:
+					switch err := db.Claim(seed); {
+					case err == nil:
+						ok.Add(1)
+					case errors.Is(err, ErrSeedUsed):
+						replays.Add(1)
+					default:
+						t.Errorf("Claim(%d): %v", seed, err)
+					}
+				case 1:
+					if s, err := db.NextUnused(); err == nil {
+						ok.Add(1)
+						if _, err := db.ReferenceResponse(s, w%8); err != nil {
+							t.Errorf("ReferenceResponse(%d): %v", s, err)
+						}
+					} else if !errors.Is(err, ErrExhausted) {
+						t.Errorf("NextUnused: %v", err)
+					}
+				default:
+					if r := db.Remaining(); r < 0 || r > n {
+						t.Errorf("Remaining = %d out of range", r)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := ok.Load(); got != n {
+		t.Errorf("successful claims = %d, want exactly %d", got, n)
+	}
+	if db.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhausting claims", db.Remaining())
+	}
+	if _, err := db.NextUnused(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("NextUnused after exhaustion: %v", err)
+	}
+}
+
+// TestNextUnusedCountsNoSpuriousReplays pins the telemetry contract: seeds
+// NextUnused skips because a direct Claim already consumed them are
+// bookkeeping, not replay attempts, and must not inflate the
+// crp_claims_total{result="replay"} counter.
+func TestNextUnusedCountsNoSpuriousReplays(t *testing.T) {
+	dev := testDevice(t)
+	db, err := Enroll(dev, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the first three seeds out of band, then check a real replay
+	// still counts.
+	for _, s := range []uint64{1, 2, 3} {
+		if err := db.Claim(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := claims.With("replay").Value()
+	seed, err := db.NextUnused() // skips 1,2,3; claims 4
+	if err != nil || seed != 4 {
+		t.Fatalf("NextUnused = %d, %v; want 4", seed, err)
+	}
+	if got := claims.With("replay").Value(); got != before {
+		t.Errorf("skipping used seeds counted %d spurious replays", got-before)
+	}
+	if err := db.Claim(4); !errors.Is(err, ErrSeedUsed) {
+		t.Fatalf("re-claim: %v", err)
+	}
+	if got := claims.With("replay").Value(); got != before+1 {
+		t.Errorf("real replay attempt counted %d, want exactly 1", got-before)
+	}
+}
+
+// TestRemainingMatchesScan asserts the O(1) unused counter against a full
+// map scan through an interleaved claim sequence.
+func TestRemainingMatchesScan(t *testing.T) {
+	dev := testDevice(t)
+	seeds := make([]uint64, 20)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	db, err := Enroll(dev, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func() int {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		n := 0
+		for _, e := range db.entries {
+			if !e.used {
+				n++
+			}
+		}
+		return n
+	}
+	check := func(step string) {
+		t.Helper()
+		if got, want := db.Remaining(), scan(); got != want {
+			t.Errorf("%s: Remaining = %d, scan = %d", step, got, want)
+		}
+	}
+	check("fresh")
+	db.Claim(7)
+	check("after direct claim")
+	db.NextUnused() // claims 1
+	db.NextUnused() // claims 2
+	check("after cursor claims")
+	db.Claim(7) // replay: must not change the count
+	db.Claim(99)
+	check("after failed claims")
+	for range seeds {
+		db.NextUnused()
+	}
+	check("exhausted")
+	if db.Remaining() != 0 {
+		t.Errorf("Remaining = %d after claiming everything", db.Remaining())
 	}
 }
 

@@ -1,0 +1,400 @@
+// Package store is the durable, concurrent-safe CRP enrollment store: the
+// verifier-side persistence layer for the paper's database verification
+// path. The in-memory crp.Database bounds a device's lifetime by the
+// enrollment effort and loses all claim state with the process; here the
+// enrolled reference responses live in a CRC-checked flat snapshot
+// (snapshot.go), claims append to a write-ahead log (wal.go), and periodic
+// compaction folds the log back into the snapshot — so single-use replay
+// protection survives restarts and crashes. A sharded Registry
+// (registry.go) scales the scheme across a fleet of devices with lazy
+// snapshot loading and an LRU of hot stores.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pufatt/internal/core"
+	"pufatt/internal/crp"
+	"pufatt/internal/obfuscate"
+)
+
+// Store file names inside a device directory.
+const (
+	snapshotFile = "crp.snap"
+	walFile      = "crp.wal"
+)
+
+// ErrClosed reports an operation on a closed store (typically one the
+// registry evicted; re-fetch through Registry.Handle, which reopens).
+var ErrClosed = errors.New("crpstore: store closed")
+
+// Options tunes durability and compaction.
+type Options struct {
+	// NoSync skips the fsync after WAL appends and snapshot writes. The
+	// write ordering (log before acknowledge, write-rename for snapshots)
+	// is preserved, so the store stays consistent across process crashes;
+	// only power-loss durability is traded for throughput.
+	NoSync bool
+	// CompactEvery folds the WAL into the snapshot automatically once it
+	// holds this many claim records (0 = only compact on explicit Compact
+	// calls). Compaction bounds both WAL growth and reopen replay time.
+	CompactEvery int
+	// MaxOpen bounds how many device stores a Registry keeps open at once
+	// (0 = DefaultMaxOpen). Least-recently-used stores beyond the bound
+	// are closed; their state is durable, so they simply reload on next
+	// use.
+	MaxOpen int
+}
+
+// DefaultOptions returns the production posture: fsync on every claim,
+// compaction every 4096 claims, up to 256 resident stores.
+func DefaultOptions() Options {
+	return Options{CompactEvery: 4096, MaxOpen: 256}
+}
+
+// Store is the durable CRP database of one device. It implements
+// core.ReferenceSource (reference lookups for the verifier pipeline) and
+// the claim surface of crp.Database (Claim, NextUnused, Remaining), with
+// every acknowledged claim logged before it takes effect. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	snap       *snapshot      // seeds/refs immutable; used == state at last compaction
+	index      map[uint64]int // seed → enrollment position
+	used       []bool         // live claim state (snapshot ∪ WAL ∪ this process)
+	unused     int
+	cursor     int
+	wal        *wal
+	walRecords int
+	closed     bool
+}
+
+// Open loads the device store in dir: snapshot first, then WAL replay on
+// top of it. After Open returns, every claim acknowledged before the last
+// shutdown or crash is in force again.
+func Open(dir string, opts Options) (*Store, error) {
+	snap, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	return openWith(dir, snap, opts)
+}
+
+// openWith wires a decoded snapshot to its WAL.
+func openWith(dir string, snap *snapshot, opts Options) (*Store, error) {
+	w, claimed, err := openWAL(filepath.Join(dir, walFile), !opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:   dir,
+		opts:  opts,
+		snap:  snap,
+		index: make(map[uint64]int, len(snap.seeds)),
+		used:  append([]bool(nil), snap.used...),
+		wal:   w,
+	}
+	for i, seed := range snap.seeds {
+		if _, dup := st.index[seed]; dup {
+			w.close()
+			return nil, fmt.Errorf("crpstore: snapshot enrolls seed %#x twice", seed)
+		}
+		st.index[seed] = i
+	}
+	for _, seed := range claimed {
+		i, ok := st.index[seed]
+		if !ok {
+			w.close()
+			return nil, fmt.Errorf("%w: WAL claims unenrolled seed %#x", ErrWALCorrupt, seed)
+		}
+		// A claim already marked in the snapshot is legal: a crash between
+		// compaction's snapshot rename and its WAL truncation leaves the
+		// record in both places, and replay is idempotent.
+		if !st.used[i] {
+			st.used[i] = true
+		}
+		st.walRecords++
+	}
+	for _, u := range st.used {
+		if !u {
+			st.unused++
+		}
+	}
+	openStores.Add(1)
+	return st, nil
+}
+
+// create installs a fresh enrollment snapshot in dir and opens it. It
+// refuses to overwrite an existing enrollment: re-enrolling a device with
+// claims outstanding would resurrect consumed seeds.
+func create(dir string, snap *snapshot, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, snapshotFile)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("crpstore: %s already holds an enrollment", dir)
+	}
+	if err := writeSnapshotFile(path, snap, !opts.NoSync); err != nil {
+		return nil, err
+	}
+	enrolledSeeds.Add(uint64(len(snap.seeds)))
+	return openWith(dir, snap, opts)
+}
+
+// Create installs an enrollment from externally measured reference data
+// (an FPGA collection run, an import from another verifier): refs holds
+// len(seeds)*RefsPerSeed rows in seed-major order, each bits wide.
+func Create(dir string, chipID, bits int, seeds []uint64, refs [][]uint8, opts Options) (*Store, error) {
+	refsPer := obfuscate.ResponsesPerOutput
+	if len(seeds) == 0 {
+		return nil, errors.New("crpstore: enrolling zero seeds")
+	}
+	if len(refs) != len(seeds)*refsPer {
+		return nil, fmt.Errorf("crpstore: %d reference rows for %d seeds (need %d per seed)",
+			len(refs), len(seeds), refsPer)
+	}
+	snap := &snapshot{
+		chipID:  chipID,
+		bits:    bits,
+		refsPer: refsPer,
+		seeds:   append([]uint64(nil), seeds...),
+		used:    make([]bool, len(seeds)),
+		flat:    make([]uint8, len(seeds)*refsPer*bits),
+	}
+	seen := make(map[uint64]struct{}, len(seeds))
+	for _, seed := range seeds {
+		if _, dup := seen[seed]; dup {
+			return nil, fmt.Errorf("crpstore: duplicate enrollment seed %#x", seed)
+		}
+		seen[seed] = struct{}{}
+	}
+	for k, row := range refs {
+		if len(row) != bits {
+			return nil, fmt.Errorf("crpstore: reference row %d is %d bits, want %d", k, len(row), bits)
+		}
+		copy(snap.flat[k*bits:(k+1)*bits], row)
+	}
+	return create(dir, snap, opts)
+}
+
+// Enroll measures the device's noiseless reference responses for every
+// seed — fanning the len(seeds)×8 expanded challenges across the parallel
+// batch evaluator (workers ≤ 0 means GOMAXPROCS) — and installs them as a
+// durable enrollment in dir. The batch responses land directly in the
+// snapshot's flat matrix: enrollment of a large seed set is one
+// allocation and one parallel sweep.
+func Enroll(dir string, dev *core.Device, seeds []uint64, workers int, opts Options) (*Store, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("crpstore: enrolling zero seeds")
+	}
+	design := dev.Design()
+	bits := design.ResponseBits()
+	refsPer := obfuscate.ResponsesPerOutput
+	seen := make(map[uint64]struct{}, len(seeds))
+	for _, seed := range seeds {
+		if _, dup := seen[seed]; dup {
+			return nil, fmt.Errorf("crpstore: duplicate enrollment seed %#x", seed)
+		}
+		seen[seed] = struct{}{}
+	}
+
+	rows := len(seeds) * refsPer
+	challenges := core.ChallengeMatrix(design, rows)
+	for i, seed := range seeds {
+		for j := 0; j < refsPer; j++ {
+			design.ExpandChallengeInto(challenges[i*refsPer+j], seed, j)
+		}
+	}
+	snap := &snapshot{
+		chipID:  dev.ChipID(),
+		bits:    bits,
+		refsPer: refsPer,
+		seeds:   append([]uint64(nil), seeds...),
+		used:    make([]bool, len(seeds)),
+		flat:    make([]uint8, rows*bits),
+	}
+	dst := make([][]uint8, rows)
+	for k := range dst {
+		dst[k] = snap.flat[k*bits : (k+1)*bits : (k+1)*bits]
+	}
+	core.NewBatchEvaluator(dev).NoiselessResponses(challenges, dst, workers)
+	return create(dir, snap, opts)
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// ChipID returns the chip this store was enrolled for.
+func (st *Store) ChipID() int { return st.snap.chipID }
+
+// ResponseBits implements core.ReferenceSource.
+func (st *Store) ResponseBits() int { return st.snap.bits }
+
+// Len returns the number of enrolled seeds.
+func (st *Store) Len() int { return len(st.snap.seeds) }
+
+// ReferenceResponse implements core.ReferenceSource. As with crp.Database,
+// the seed must have been claimed first, so a protocol bug cannot silently
+// bypass replay protection.
+func (st *Store) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	i, ok := st.index[seed]
+	used := ok && st.used[i]
+	st.mu.Unlock()
+	if !ok {
+		return nil, crp.ErrUnknownSeed
+	}
+	if !used {
+		return nil, fmt.Errorf("crpstore: seed %#x not claimed before use", seed)
+	}
+	if j < 0 || j >= st.snap.refsPer {
+		return nil, fmt.Errorf("crpstore: reference index %d out of range", j)
+	}
+	referenceLookups.Inc()
+	// Reference rows are immutable after enrollment: the view needs no lock.
+	return st.snap.ref(i, j), nil
+}
+
+// Claim durably marks a seed as consumed: the claim record is on disk (in
+// its WAL) before Claim acknowledges, so the seed stays rejected as a
+// replay after any restart. Unknown and already-used seeds fail with the
+// crp package's sentinel errors.
+func (st *Store) Claim(seed uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.claimLocked(seed)
+}
+
+func (st *Store) claimLocked(seed uint64) error {
+	if st.closed {
+		return ErrClosed
+	}
+	i, ok := st.index[seed]
+	if !ok {
+		claims.With("unknown").Inc()
+		return crp.ErrUnknownSeed
+	}
+	if st.used[i] {
+		claims.With("replay").Inc()
+		return crp.ErrSeedUsed
+	}
+	// Log before acknowledging: if the append fails (or the process dies
+	// inside it) the caller never saw the claim succeed, and a replayed
+	// torn tail drops it — the failure mode errs toward a seed being
+	// claimed on disk but unacknowledged, never the reverse.
+	if err := st.wal.append(seed); err != nil {
+		return err
+	}
+	st.used[i] = true
+	st.unused--
+	st.walRecords++
+	claims.With("ok").Inc()
+	if st.opts.CompactEvery > 0 && st.walRecords >= st.opts.CompactEvery {
+		// The claim itself is already durable and acknowledged; a failed
+		// fold only defers compaction to the next trigger.
+		_ = st.compactLocked()
+	}
+	return nil
+}
+
+// NextUnused durably claims and returns the next unused seed in enrollment
+// order. Seeds consumed by direct Claim calls are skipped without counting
+// replay telemetry.
+func (st *Store) NextUnused() (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	for st.cursor < len(st.snap.seeds) {
+		seed := st.snap.seeds[st.cursor]
+		if st.used[st.index[seed]] {
+			st.cursor++
+			continue
+		}
+		if err := st.claimLocked(seed); err != nil {
+			return 0, err
+		}
+		st.cursor++
+		return seed, nil
+	}
+	claims.With("exhausted").Inc()
+	return 0, crp.ErrExhausted
+}
+
+// Remaining returns how many authentications the store still supports
+// (O(1): maintained by the claim paths).
+func (st *Store) Remaining() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.unused
+}
+
+// WALRecords returns the number of claim records currently in the WAL —
+// the replay work a reopen would do before the next compaction.
+func (st *Store) WALRecords() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.walRecords
+}
+
+// Compact folds the WAL into a fresh snapshot (atomically installed via
+// write-and-rename) and empties the log. A crash at any point leaves a
+// consistent store: either the old snapshot plus the full WAL, or the new
+// snapshot plus a WAL whose replay is idempotent.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.compactLocked()
+}
+
+func (st *Store) compactLocked() error {
+	snap := &snapshot{
+		chipID:  st.snap.chipID,
+		bits:    st.snap.bits,
+		refsPer: st.snap.refsPer,
+		seeds:   st.snap.seeds,
+		used:    append([]bool(nil), st.used...),
+		flat:    st.snap.flat,
+	}
+	if err := writeSnapshotFile(filepath.Join(st.dir, snapshotFile), snap, !st.opts.NoSync); err != nil {
+		return err
+	}
+	// Only after the snapshot rename is durable may the WAL be emptied;
+	// the reverse order could lose claims.
+	if err := st.wal.reset(); err != nil {
+		return err
+	}
+	st.snap = snap
+	st.walRecords = 0
+	compactions.Inc()
+	return nil
+}
+
+// Close releases the store's WAL handle. Claim state is durable; reopening
+// with Open restores it.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	openStores.Add(-1)
+	return st.wal.close()
+}

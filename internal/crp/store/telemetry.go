@@ -1,0 +1,37 @@
+package store
+
+import "pufatt/internal/telemetry"
+
+// Store instruments. Claim outcomes feed the same crp_claims_total family
+// the in-memory database uses (the telemetry registry deduplicates by
+// name), so operators watch one replay/exhaustion signal regardless of
+// which backend serves a device; the crpstore_* set covers the durability
+// machinery itself — WAL traffic, snapshot I/O, compactions, and how hard
+// the registry shards are being fought over.
+var (
+	claims = telemetry.Default().CounterVec("crp_claims_total",
+		"Seed claims against CRP databases, by result.", "result")
+	enrolledSeeds = telemetry.Default().Counter("crp_enrolled_seeds_total",
+		"Challenge seeds enrolled into CRP databases.")
+	referenceLookups = telemetry.Default().Counter("crp_reference_lookups_total",
+		"Reference-response lookups served from CRP databases.")
+
+	snapshotLoads = telemetry.Default().Counter("crpstore_snapshot_loads_total",
+		"Enrollment snapshots loaded from disk.")
+	snapshotWrites = telemetry.Default().Counter("crpstore_snapshot_writes_total",
+		"Enrollment snapshots written (enrollments and compactions).")
+	walAppends = telemetry.Default().Counter("crpstore_wal_appends_total",
+		"Claim records appended to write-ahead logs.")
+	walReplayedRecords = telemetry.Default().Counter("crpstore_wal_replayed_records_total",
+		"Claim records replayed from write-ahead logs at open.")
+	walTornTails = telemetry.Default().Counter("crpstore_wal_torn_tails_total",
+		"Torn write-ahead-log tails detected and truncated at open.")
+	compactions = telemetry.Default().Counter("crpstore_compactions_total",
+		"WAL-into-snapshot compactions performed.")
+	openStores = telemetry.Default().Gauge("crpstore_open_stores",
+		"Device stores currently open (snapshot resident in memory).")
+	shardContention = telemetry.Default().Counter("crpstore_shard_contention_total",
+		"Registry shard lock acquisitions that had to wait behind another holder.")
+	evictions = telemetry.Default().Counter("crpstore_evictions_total",
+		"Device stores evicted from the registry's hot LRU.")
+)

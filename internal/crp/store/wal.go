@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The claim WAL is the store's crash-safety mechanism for the mutable half
+// of its state. The snapshot holds the enrolled references (large, mostly
+// immutable); the WAL holds the claims made since the last compaction
+// (small, hot). A claim is acknowledged only after its record is on disk,
+// so replay protection survives any crash: on open, the WAL is replayed on
+// top of the snapshot's used-bitmap.
+//
+// Each record is a fixed 16-byte frame:
+//
+//	offset 0  magic uint32 LE (walMagic)
+//	offset 4  seed  uint64 LE
+//	offset 12 crc32 uint32 LE (IEEE, over bytes 0..11)
+//
+// Fixed-size CRC-framed records make the torn-write story simple: a crash
+// mid-append leaves a short or CRC-failing frame at the tail, which open
+// detects, truncates, and continues past — the interrupted claim was never
+// acknowledged, so dropping it is correct. An invalid frame *followed by
+// more data* cannot be a torn append and is reported as corruption.
+
+const (
+	walMagic      = 0x57505243 // "CRPW"
+	walRecordSize = 16
+)
+
+// ErrWALCorrupt reports an invalid record in the interior of the WAL —
+// damage no torn final append can explain.
+var ErrWALCorrupt = errors.New("crpstore: claim WAL corrupted")
+
+// wal is an append-only claim log over one file.
+type wal struct {
+	f    *os.File
+	sync bool // fsync after every append (durability vs throughput)
+}
+
+// openWAL opens (creating if absent) the claim log, validates it, and
+// returns the seeds of every durable claim in append order. A torn tail is
+// truncated away; interior corruption is an error.
+func openWAL(path string, sync bool) (*wal, []uint64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crpstore: opening claim WAL: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("crpstore: reading claim WAL: %w", err)
+	}
+	var seeds []uint64
+	valid := 0
+	for valid+walRecordSize <= len(data) {
+		rec := data[valid : valid+walRecordSize]
+		if binary.LittleEndian.Uint32(rec[0:4]) != walMagic ||
+			binary.LittleEndian.Uint32(rec[12:16]) != crc32.ChecksumIEEE(rec[0:12]) {
+			break
+		}
+		seeds = append(seeds, binary.LittleEndian.Uint64(rec[4:12]))
+		valid += walRecordSize
+	}
+	if tail := len(data) - valid; tail > walRecordSize {
+		// More than one frame's worth of unparseable bytes: not a torn
+		// append but real damage. Refuse to guess.
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: invalid record at offset %d with %d bytes following",
+			ErrWALCorrupt, valid, tail)
+	} else if tail > 0 {
+		walTornTails.Inc()
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("crpstore: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	walReplayedRecords.Add(uint64(len(seeds)))
+	return &wal{f: f, sync: sync}, seeds, nil
+}
+
+// append logs one claim. The record is on disk (and, in sync mode, fsynced)
+// before append returns; only then may the claim be acknowledged.
+func (w *wal) append(seed uint64) error {
+	var rec [walRecordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], walMagic)
+	binary.LittleEndian.PutUint64(rec[4:12], seed)
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(rec[0:12]))
+	if _, err := w.f.Write(rec[:]); err != nil {
+		return fmt.Errorf("crpstore: appending claim: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("crpstore: syncing claim WAL: %w", err)
+		}
+	}
+	walAppends.Inc()
+	return nil
+}
+
+// reset empties the log after its claims have been folded into a snapshot.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("crpstore: truncating claim WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }

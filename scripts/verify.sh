@@ -30,6 +30,9 @@ go test ./...
 echo "== go test -race ./internal/attest/... (fault-injection suite)"
 go test -race ./internal/attest/...
 
+echo "== go test -race ./internal/crp/... (database + durable store claim paths)"
+go test -race ./internal/crp/...
+
 echo "== go test -race sim/core/experiments (parallel batch engine)"
 go test -race ./internal/sim/... ./internal/core/... ./internal/experiments/...
 
