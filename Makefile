@@ -1,7 +1,7 @@
 # Makefile — developer entry points. `make verify` is the full gate:
 # gofmt, tier-1 build+tests, vet, and the race-detected suites. `make
-# bench` snapshots the root benchmarks into BENCH_PR4.json and diffs the
-# snapshot against the previous PR's BENCH_PR3.json (informational; use
+# bench` snapshots the root benchmarks into BENCH_PR5.json and diffs the
+# snapshot against the previous PR's BENCH_PR4.json (informational; use
 # `benchjson compare -strict` to gate).
 
 GO ?= go
@@ -18,10 +18,12 @@ vet:
 	$(GO) vet ./...
 
 # The attestation robustness tests (drop/corrupt/truncate/delay/duplicate
-# fault classes, retry, quarantine), the CRP database/store claim paths,
-# and the parallel batch-evaluation packages under the race detector.
+# fault classes, retry, quarantine), the telemetry layer (tracer ring,
+# journal, health registry, admin endpoints under concurrent sweeps), the
+# CRP database/store claim paths, and the parallel batch-evaluation
+# packages under the race detector.
 race:
-	$(GO) test -race ./internal/attest/... ./internal/crp/... ./internal/sim/... ./internal/core/... ./internal/experiments/...
+	$(GO) test -race ./internal/attest/... ./internal/telemetry/... ./internal/crp/... ./internal/sim/... ./internal/core/... ./internal/experiments/...
 
 verify:
 	./scripts/verify.sh
@@ -29,6 +31,6 @@ verify:
 # Run the facade benchmarks once each and record them as JSON for
 # cross-PR comparison, then diff against the previous PR's snapshot.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./scripts/benchjson > BENCH_PR4.json
-	@cat BENCH_PR4.json
-	@if [ -f BENCH_PR3.json ]; then $(GO) run ./scripts/benchjson compare BENCH_PR3.json BENCH_PR4.json; fi
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./scripts/benchjson > BENCH_PR5.json
+	@cat BENCH_PR5.json
+	@if [ -f BENCH_PR4.json ]; then $(GO) run ./scripts/benchjson compare BENCH_PR4.json BENCH_PR5.json; fi

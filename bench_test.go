@@ -9,6 +9,7 @@ package pufatt
 // counts); ns/op carries the cost of producing them.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -29,6 +30,7 @@ import (
 	"pufatt/internal/slender"
 	"pufatt/internal/stats"
 	"pufatt/internal/swatt"
+	"pufatt/internal/telemetry"
 )
 
 // --- Figure 3 ---
@@ -629,6 +631,69 @@ func BenchmarkSyndromeGenerate(b *testing.B) {
 		if _, err := s.Generate(resp); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTraceHeaderEncode measures the frame codec with and without the
+// v2 trace-header extension — the per-frame cost tracing adds to the
+// attestation wire path (a 20-byte extension plus one extra CRC).
+func BenchmarkTraceHeaderEncode(b *testing.B) {
+	ch := attest.Challenge{Session: 1, Nonce: 0x1234, PUFSeed: 0x5678}
+	tc := telemetry.TraceContext{Trace: 0x1111222233334444, Span: 0x5555666677778888}
+	var buf bytes.Buffer
+	b.Run("v1-untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := attest.WriteChallenge(&buf, ch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := attest.WriteChallengeTraced(&buf, ch, tc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-decode", func(b *testing.B) {
+		buf.Reset()
+		if err := attest.WriteChallengeTraced(&buf, ch, tc); err != nil {
+			b.Fatal(err)
+		}
+		frame := buf.Bytes()
+		rd := bytes.NewReader(frame)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset(frame)
+			if _, _, err := attest.ReadChallengeTraced(rd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJournalAppend measures the flight recorder's hot path: one
+// structured event into the bounded ring. It must stay allocation-free so
+// journaling never shows up in the session timing the protocol argues
+// over.
+func BenchmarkJournalAppend(b *testing.B) {
+	j := telemetry.NewJournal(1024)
+	ev := telemetry.Event{
+		Trace:   0x1111222233334444,
+		Session: 7,
+		Device:  "node-3",
+		Kind:    telemetry.EventChallengeSent,
+		Detail:  "bench",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Append(ev)
 	}
 }
 

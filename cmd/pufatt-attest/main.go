@@ -19,6 +19,15 @@
 // -fault-seed) mangles the verifier's frames so the recovery machinery can
 // be demonstrated against a live prover service.
 //
+// Observability: -metrics-addr serves the admin surface (Prometheus
+// metrics, trace trees, the protocol-event journal, per-device health).
+// -flight-dir snapshots the journal to a JSON-lines dump whenever a
+// session fails, tagged with the failing session's trace ID. -slo-rtt and
+// -slo-fnr set the per-device SLO thresholds that drive /devices and
+// /healthz: a prover whose p95 round-trip exceeds -slo-rtt is flagged
+// suspect from timing alone, the PUFatt signature of an overclocked or
+// proxied device.
+//
 // Durable CRP budget: -store-dir points the verifier at a persistent
 // enrollment store; each session claims one single-use seed, and claims
 // survive restarts (crash-safe via snapshot + WAL). Maintenance:
@@ -72,7 +81,13 @@ func main() {
 		faultLog    = flag.Bool("fault-log", false, "emit one JSON line per injected fault to stderr")
 
 		metricsAddr = flag.String("metrics-addr", "",
-			"serve /metrics, /debug/vars, /debug/traces, and /debug/pprof on this address (empty = disabled)")
+			"serve /metrics, /debug/vars, /debug/traces, /debug/journal, /devices, /healthz, and /debug/pprof on this address (empty = disabled)")
+		flightDir = flag.String("flight-dir", "",
+			"write a flight-recorder dump (JSON lines of the session's protocol events) here whenever a session fails (empty = disabled)")
+		sloRTT = flag.Float64("slo-rtt", 0,
+			"per-device timing SLO: p95 round-trip bound in seconds; a device over it turns suspect at /devices (0 = no timing SLO)")
+		sloFNR = flag.Float64("slo-fnr", 0.25,
+			"per-device response-quality SLO: false-negative-rate drift bound (0 = disabled)")
 
 		storeDir = flag.String("store-dir", "",
 			"durable CRP store directory: verifier sessions claim single-use seeds that survive restarts (empty = emulation model, no budget)")
@@ -87,8 +102,16 @@ func main() {
 		addr, stopAdmin, err := attest.StartAdmin(*metricsAddr, nil)
 		check(err)
 		defer stopAdmin()
-		fmt.Printf("telemetry: http://%s/metrics\n", addr)
+		fmt.Printf("telemetry: http://%s/metrics (health at /devices, /healthz)\n", addr)
 	}
+	if *flightDir != "" {
+		attest.Metrics().SetFlightDir(*flightDir)
+		fmt.Printf("flight recorder: dumps to %s on session failure\n", *flightDir)
+	}
+	slo := attest.Metrics().Health.SLO()
+	slo.MaxRTTP95 = *sloRTT
+	slo.MaxFNR = *sloFNR
+	attest.Metrics().Health.SetSLO(slo)
 
 	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
 	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)

@@ -295,9 +295,25 @@ type (
 	MetricsRegistry = telemetry.Registry
 	// Tracer records recent attestation span trees in a ring buffer.
 	Tracer = telemetry.Tracer
+	// HealthSLO holds the per-device service-level thresholds (timing,
+	// failure rate, FNR drift, transport/retry rates) that drive the
+	// ok/degraded/suspect judgement at /devices and /healthz.
+	HealthSLO = telemetry.SLO
+	// DeviceHealth is one device's rolling-window health snapshot.
+	DeviceHealth = telemetry.DeviceHealth
+	// HealthRegistry aggregates per-device session outcomes and judges
+	// them against a HealthSLO.
+	HealthRegistry = telemetry.HealthRegistry
+	// ProtocolJournal is the bounded ring of structured protocol events
+	// behind /debug/journal and the flight recorder.
+	ProtocolJournal = telemetry.Journal
 	// BuildInfo identifies a built pufatt tool (version, VCS revision).
 	BuildInfo = buildinfo.Info
 )
+
+// DefaultHealthSLO returns the conservative stock thresholds; the timing
+// bound MaxRTTP95 is deployment-specific and left unset.
+func DefaultHealthSLO() HealthSLO { return telemetry.DefaultSLO() }
 
 // AttestMetrics returns the attestation layer's package-default telemetry:
 // the instruments every session, retry, sweep, and injected fault records
@@ -311,9 +327,10 @@ func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
 // DefaultTracer returns the process-wide attestation tracer.
 func DefaultTracer() *Tracer { return telemetry.DefaultTracer() }
 
-// StartAdmin serves /metrics, /debug/vars, /debug/traces, and
-// /debug/pprof on the TCP address (":0" picks a free port); nil telemetry
-// means the package default. The returned function stops the listener.
+// StartAdmin serves /metrics, /debug/vars, /debug/traces, /debug/journal,
+// /devices, /healthz, and /debug/pprof on the TCP address (":0" picks a
+// free port); nil telemetry means the package default. The returned
+// function stops the listener.
 func StartAdmin(addr string, t *AttestTelemetry) (string, func() error, error) {
 	a, closeFn, err := attest.StartAdmin(addr, t)
 	if err != nil {

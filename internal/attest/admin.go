@@ -2,9 +2,12 @@ package attest
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"pufatt/internal/telemetry"
 )
 
 // This file exposes the attestation stack's operational surface over HTTP:
@@ -15,10 +18,14 @@ import (
 
 // AdminMux returns an http.ServeMux serving the telemetry admin surface:
 //
-//	/metrics       Prometheus text exposition (format 0.0.4)
-//	/debug/vars    expvar-style JSON of every registered metric
-//	/debug/traces  recent attestation span trees as JSON
-//	/debug/pprof/  the standard runtime profiler endpoints
+//	/metrics        Prometheus text exposition (format 0.0.4)
+//	/debug/vars     expvar-style JSON of every registered metric
+//	/debug/traces   recent attestation span trees as JSON
+//	/debug/journal  the flight recorder's retained protocol events as JSON
+//	/devices        per-device health snapshots (SLO judgements) as JSON
+//	/healthz        fleet-wide health summary; HTTP 503 when any device is
+//	                suspect, 200 otherwise
+//	/debug/pprof/   the standard runtime profiler endpoints
 //
 // A nil Telemetry means the package default (the one the attestation hot
 // paths record into).
@@ -38,6 +45,26 @@ func AdminMux(t *Telemetry) *http.ServeMux {
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = t.Tracer.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Journal.WriteJSON(w)
+	})
+	mux.HandleFunc("/devices", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.Health.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		sum := t.Health.Summary()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// A suspect device is a security signal: fail the health check so
+		// orchestration-level alerting fires without parsing the body.
+		// Degraded is availability trouble — reported, but still 200.
+		if sum.Status() == telemetry.StatusSuspect {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, `{"status": %q, "devices": %d, "ok": %d, "degraded": %d, "suspect": %d}`+"\n",
+			sum.Status().String(), sum.Devices, sum.OK, sum.Degraded, sum.Suspect)
 	})
 	// pprof registers on http.DefaultServeMux via init; re-register its
 	// handlers explicitly so the admin endpoint works on a private mux

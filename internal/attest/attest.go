@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync/atomic"
 
 	"pufatt/internal/core"
+	"pufatt/internal/telemetry"
 )
 
 // Challenge is the verifier's message to the prover.
@@ -87,6 +89,24 @@ func (r Response) Bits() int {
 // type byte catches reordered or duplicated frames, and the CRC detects
 // in-flight corruption (it is an integrity check against faults, not a MAC
 // — authenticity comes from the PUF response itself).
+//
+// Version 2 frames additionally carry an optional extension block between
+// the header and the payload, used today for cross-process trace
+// propagation:
+//
+//	offset 0  extLen  uint16 LE (extension bytes; 0 = no extension)
+//	offset 2  ext     extLen bytes
+//	offset 2+extLen   payload (identical to the v1 body)
+//
+// The trace extension is traceID(8) || spanID(8) || crc32(4) over the 16 ID
+// bytes. The frame-level CRC covers the whole v2 body (extension included),
+// so channel corruption is still caught by the outer check; the inner CRC
+// exists so a decoder that finds the IDs mangled (or an extension it does
+// not understand) can DROP the trace context and keep the payload — trace
+// propagation is observability, and observability must never kill a
+// session. Writers emit v2 only while wire tracing is enabled
+// (SetWireTracing); a fleet with pre-v2 peers — whose decoders reject
+// unknown versions outright — disables it and loses nothing but stitching.
 
 // Frame validation errors. All of them are transport-class faults: they say
 // the channel mangled a frame, not that the prover failed attestation.
@@ -102,42 +122,128 @@ var (
 	ErrFrameType = errors.New("attest: unexpected frame type")
 	// ErrChecksum means the frame body failed its CRC32 integrity check.
 	ErrChecksum = errors.New("attest: frame checksum mismatch")
+	// ErrTraceExt means a v2 frame's extension block is structurally
+	// malformed (its declared length overruns the body). A mangled
+	// extension *content* is not an error — the decoder drops the trace
+	// context and keeps the payload — but a length that lies about the
+	// frame's layout makes the payload boundary itself untrustworthy.
+	ErrTraceExt = errors.New("attest: malformed frame extension")
 )
 
 const (
-	frameMagic   uint16 = 0xA77E
-	frameVersion byte   = 1
-	headerSize          = 12
-	maxFrame            = 1 << 22
+	frameMagic         uint16 = 0xA77E
+	frameVersion       byte   = 1
+	frameVersionTraced byte   = 2
+	headerSize                = 12
+	maxFrame                  = 1 << 22
+
+	// traceExtSize is the trace extension block: traceID(8) + spanID(8) +
+	// crc32(4) over the 16 ID bytes.
+	traceExtSize = 20
 
 	frameChallenge byte = 0x01
 	frameResponse  byte = 0x02
 	frameTime      byte = 0x03
 )
 
-// writeFrame emits one validated frame in a single Write call, so stream
+// wireTracing gates v2 (trace-carrying) frame emission. On by default: two
+// current binaries stitch their traces automatically. Fleets with pre-v2
+// peers turn it off, because those decoders reject unknown versions.
+var wireTracing atomic.Bool
+
+func init() { wireTracing.Store(true) }
+
+// SetWireTracing enables or disables trace-context propagation on outgoing
+// frames (the version gate). Decoding is unconditional: v1 and v2 frames
+// are always accepted.
+func SetWireTracing(on bool) { wireTracing.Store(on) }
+
+// WireTracing reports whether outgoing frames carry trace contexts.
+func WireTracing() bool { return wireTracing.Load() }
+
+// encodeTraceExt renders the 20-byte trace extension block.
+func encodeTraceExt(tc telemetry.TraceContext) []byte {
+	ext := make([]byte, traceExtSize)
+	binary.LittleEndian.PutUint64(ext[0:], uint64(tc.Trace))
+	binary.LittleEndian.PutUint64(ext[8:], uint64(tc.Span))
+	binary.LittleEndian.PutUint32(ext[16:], crc32.ChecksumIEEE(ext[:16]))
+	return ext
+}
+
+// decodeTraceExt recovers a trace context from an extension block. A block
+// of the wrong size (an extension this revision does not know) or with a
+// failed inner CRC yields the zero context — the payload's validity is the
+// outer CRC's business, not this block's.
+func decodeTraceExt(ext []byte) (telemetry.TraceContext, bool) {
+	if len(ext) != traceExtSize {
+		return telemetry.TraceContext{}, false
+	}
+	if crc32.ChecksumIEEE(ext[:16]) != binary.LittleEndian.Uint32(ext[16:]) {
+		tel.TraceHeaders.With("corrupt").Inc()
+		return telemetry.TraceContext{}, false
+	}
+	return telemetry.TraceContext{
+		Trace: telemetry.TraceID(binary.LittleEndian.Uint64(ext[0:])),
+		Span:  telemetry.SpanID(binary.LittleEndian.Uint64(ext[8:])),
+	}, true
+}
+
+// writeFrame emits one validated v1 frame in a single Write call, so stream
 // fault injectors (FaultyConn) can drop/corrupt/duplicate at frame
 // granularity.
 func writeFrame(w io.Writer, ftype byte, body []byte) error {
-	if len(body) > maxFrame {
+	return writeFrameCtx(w, ftype, body, telemetry.TraceContext{})
+}
+
+// writeFrameCtx emits one validated frame, attaching the trace context as a
+// v2 extension when it is valid and wire tracing is enabled (a v1 frame
+// otherwise). Still a single Write call.
+func writeFrameCtx(w io.Writer, ftype byte, body []byte, tc telemetry.TraceContext) error {
+	traced := tc.Valid() && wireTracing.Load()
+	extra := 0
+	if traced {
+		extra = 2 + traceExtSize
+	}
+	if len(body)+extra > maxFrame {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, headerSize+len(body))
+	buf := make([]byte, headerSize+extra+len(body))
 	binary.LittleEndian.PutUint16(buf[0:], frameMagic)
-	buf[2] = frameVersion
 	buf[3] = ftype
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(body)))
-	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
-	copy(buf[headerSize:], body)
+	if traced {
+		buf[2] = frameVersionTraced
+		binary.LittleEndian.PutUint16(buf[headerSize:], traceExtSize)
+		copy(buf[headerSize+2:], encodeTraceExt(tc))
+	} else {
+		buf[2] = frameVersion
+	}
+	copy(buf[headerSize+extra:], body)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(extra+len(body)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[headerSize:]))
 	_, err := w.Write(buf)
 	if err == nil {
 		tel.FramesSent.With(frameTypeName(ftype)).Inc()
+		if traced {
+			tel.TraceHeaders.With("sent").Inc()
+		}
 	}
 	return err
 }
 
-// readFrame decodes and validates one frame of the wanted type.
+// readFrame decodes and validates one frame of the wanted type, discarding
+// any trace context.
 func readFrame(r io.Reader, want byte) ([]byte, error) {
+	body, _, err := readFrameCtx(r, want)
+	return body, err
+}
+
+// readFrameCtx decodes and validates one frame of the wanted type,
+// returning its payload and any trace context it carried. Both frame
+// versions are accepted: a v1 frame yields the zero context, and a v2 frame
+// whose extension is unknown or fails its inner CRC yields the zero context
+// with the payload intact.
+func readFrameCtx(r io.Reader, want byte) ([]byte, telemetry.TraceContext, error) {
+	var tc telemetry.TraceContext
 	head := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, head); err != nil {
 		// A clean EOF before any header byte is end-of-stream, not a
@@ -145,61 +251,95 @@ func readFrame(r io.Reader, want byte) ([]byte, error) {
 		if err != io.EOF {
 			tel.FramesRejected.With("io").Inc()
 		}
-		return nil, err
+		return nil, tc, err
 	}
 	if binary.LittleEndian.Uint16(head[0:]) != frameMagic {
 		tel.FramesRejected.With("magic").Inc()
-		return nil, ErrBadMagic
+		return nil, tc, ErrBadMagic
 	}
-	if head[2] != frameVersion {
+	version := head[2]
+	if version != frameVersion && version != frameVersionTraced {
 		tel.FramesRejected.With("version").Inc()
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+		return nil, tc, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	if head[3] != want {
 		tel.FramesRejected.With("type").Inc()
-		return nil, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrFrameType, head[3], want)
+		return nil, tc, fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrFrameType, head[3], want)
 	}
 	n := binary.LittleEndian.Uint32(head[4:])
 	if n > maxFrame {
 		tel.FramesRejected.With("length").Inc()
-		return nil, ErrFrameTooLarge
+		return nil, tc, ErrFrameTooLarge
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		tel.FramesRejected.With("io").Inc()
-		return nil, err
+		return nil, tc, err
 	}
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(head[8:]) {
 		tel.FramesRejected.With("checksum").Inc()
-		return nil, ErrChecksum
+		return nil, tc, ErrChecksum
+	}
+	if version == frameVersionTraced {
+		if len(body) < 2 {
+			tel.FramesRejected.With("trace_ext").Inc()
+			return nil, tc, fmt.Errorf("%w: v2 body of %d bytes", ErrTraceExt, len(body))
+		}
+		extLen := int(binary.LittleEndian.Uint16(body[0:]))
+		if 2+extLen > len(body) {
+			tel.FramesRejected.With("trace_ext").Inc()
+			return nil, tc, fmt.Errorf("%w: extension of %d bytes in %d-byte body", ErrTraceExt, extLen, len(body))
+		}
+		if got, ok := decodeTraceExt(body[2 : 2+extLen]); ok {
+			tc = got
+			tel.TraceHeaders.With("received").Inc()
+		}
+		body = body[2+extLen:]
 	}
 	tel.FramesReceived.With(frameTypeName(want)).Inc()
-	return body, nil
+	return body, tc, nil
 }
 
 // WriteChallenge encodes a challenge frame.
 func WriteChallenge(w io.Writer, c Challenge) error {
+	return WriteChallengeTraced(w, c, telemetry.TraceContext{})
+}
+
+// WriteChallengeTraced encodes a challenge frame carrying the verifier's
+// trace context, so the prover can parent its serving span into the same
+// trace. An invalid context (or disabled wire tracing) falls back to a
+// plain v1 frame.
+func WriteChallengeTraced(w io.Writer, c Challenge, tc telemetry.TraceContext) error {
 	body := make([]byte, 16)
 	binary.LittleEndian.PutUint64(body[0:], c.Session)
 	binary.LittleEndian.PutUint32(body[8:], c.Nonce)
 	binary.LittleEndian.PutUint32(body[12:], c.PUFSeed)
-	return writeFrame(w, frameChallenge, body)
+	return writeFrameCtx(w, frameChallenge, body, tc)
 }
 
 // ReadChallenge decodes a challenge frame.
 func ReadChallenge(r io.Reader) (Challenge, error) {
-	body, err := readFrame(r, frameChallenge)
+	ch, _, err := ReadChallengeTraced(r)
+	return ch, err
+}
+
+// ReadChallengeTraced decodes a challenge frame and the verifier's trace
+// context when the frame carried one (the zero context otherwise — v1
+// frames and frames whose trace extension failed its inner CRC decode
+// identically except for the context).
+func ReadChallengeTraced(r io.Reader) (Challenge, telemetry.TraceContext, error) {
+	body, tc, err := readFrameCtx(r, frameChallenge)
 	if err != nil {
-		return Challenge{}, err
+		return Challenge{}, tc, err
 	}
 	if len(body) != 16 {
-		return Challenge{}, fmt.Errorf("attest: challenge frame of %d bytes", len(body))
+		return Challenge{}, tc, fmt.Errorf("attest: challenge frame of %d bytes", len(body))
 	}
 	return Challenge{
 		Session: binary.LittleEndian.Uint64(body[0:]),
 		Nonce:   binary.LittleEndian.Uint32(body[8:]),
 		PUFSeed: binary.LittleEndian.Uint32(body[12:]),
-	}, nil
+	}, tc, nil
 }
 
 // WriteResponse encodes a response frame.

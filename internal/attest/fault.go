@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pufatt/internal/rng"
+	"pufatt/internal/telemetry"
 )
 
 // This file is the deterministic fault-injection harness. Robustness code
@@ -142,6 +143,26 @@ type faultState struct {
 	injected int
 	counts   [numFaultClasses]int
 	log      io.Writer
+	tel      *Telemetry // metric/journal sink; nil means the package default
+}
+
+// SetTelemetry directs the injector's fault metrics and journal events to
+// an explicit telemetry bundle instead of the package default (nil
+// restores the default). Promoted to FaultyConn and FaultyLink; tests with
+// a private Telemetry use it so injected faults land in the same flight
+// recorder as the sessions they break.
+func (s *faultState) SetTelemetry(t *Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = t
+}
+
+// telemetry returns the injector's sink.
+func (s *faultState) telemetry() *Telemetry {
+	if s.tel != nil {
+		return s.tel
+	}
+	return tel
 }
 
 func newFaultState(plan FaultPlan, seed uint64) *faultState {
@@ -182,7 +203,10 @@ func (s *faultState) draw() (FaultClass, bool) {
 	if hit {
 		s.injected++
 		s.counts[class]++
-		tel.FaultsInjected.With(class.String()).Inc()
+		T := s.telemetry()
+		T.FaultsInjected.With(class.String()).Inc()
+		T.journal(telemetry.EventFaultInjected, 0, 0, "",
+			fmt.Sprintf("class=%s seed=%d frame=%d", class.String(), s.seed, frame))
 		if s.log != nil {
 			line, err := json.Marshal(FaultEvent{
 				Event: "fault_injected", Class: class.String(),

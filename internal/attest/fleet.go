@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pufatt/internal/telemetry"
 )
 
 // Fleet manages attestation for a population of enrolled devices — the
@@ -71,12 +73,17 @@ func (f *Fleet) telemetry() *Telemetry {
 }
 
 // Enroll registers a node's verifier and its prover agent under a node id.
-// Wrap the agent in a FaultyLink to model a lossy last hop.
+// Wrap the agent in a FaultyLink to model a lossy last hop. A verifier with
+// no Device name is given "node-<id>", so fleet sessions always carry a
+// device identity into the health registry and the journal.
 func (f *Fleet) Enroll(nodeID int, v *Verifier, agent ProverAgent) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, dup := f.verifiers[nodeID]; dup {
 		return fmt.Errorf("attest: node %d already enrolled", nodeID)
+	}
+	if v.Device == "" {
+		v.Device = fmt.Sprintf("node-%d", nodeID)
 	}
 	f.verifiers[nodeID] = v
 	f.agents[nodeID] = agent
@@ -118,6 +125,10 @@ func (f *Fleet) Reinstate(nodeID int) {
 		T := f.telemetry()
 		T.QuarantineTransitions.With(transitionReinstate).Inc()
 		T.QuarantineOpen.Add(-1)
+		if v := f.verifiers[nodeID]; v != nil {
+			T.Health.ObserveQuarantine(v.Device, false)
+			T.journal(telemetry.EventQuarantine, 0, 0, v.Device, "lifted: operator reinstate")
+		}
 	}
 	h.quarantined = false
 	h.consecutiveUnreachable = 0
@@ -385,7 +396,7 @@ func (f *Fleet) attestNode(ctx context.Context, id int, link Link, opts SweepOpt
 		policy = RetryPolicy{MaxAttempts: 1} // half-open: one probe, no retries
 	}
 
-	res, attempts, err := RunSessionRetryContext(ctx, v, agent, link, policy)
+	res, attempts, err := T.runSessionRetry(ctx, v, agent, link, policy)
 	out := nodeOutcome{
 		res:      NodeResult{NodeID: id, Result: res, Err: err, Attempts: attempts},
 		attempts: attempts,
@@ -416,6 +427,8 @@ func (f *Fleet) attestNode(ctx context.Context, id int, link Link, opts SweepOpt
 			out.lifted = true
 			T.QuarantineTransitions.With(transitionExit).Inc()
 			T.QuarantineOpen.Add(-1)
+			T.Health.ObserveQuarantine(v.Device, false)
+			T.journal(telemetry.EventQuarantine, 0, 0, v.Device, "lifted: probe succeeded")
 		}
 	case IsTransport(err) && !quarantined:
 		h.consecutiveUnreachable++
@@ -424,6 +437,9 @@ func (f *Fleet) attestNode(ctx context.Context, id int, link Link, opts SweepOpt
 			out.entered = true
 			T.QuarantineTransitions.With(transitionEnter).Inc()
 			T.QuarantineOpen.Add(1)
+			T.Health.ObserveQuarantine(v.Device, true)
+			T.journal(telemetry.EventQuarantine, 0, 0, v.Device,
+				fmt.Sprintf("entered: %d consecutive unreachable sweeps", h.consecutiveUnreachable))
 		}
 	}
 	return out

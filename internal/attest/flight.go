@@ -1,0 +1,74 @@
+package attest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pufatt/internal/telemetry"
+)
+
+// Flight-recorder dumps: when a session fails — the transport budget
+// exhausts or the verifier rejects — the journal's recent history is the
+// post-mortem, and it is worth nothing if the operator only thinks to fetch
+// /debug/journal hours later, after the ring has turned over. With a flight
+// directory configured, the failure handler snapshots the journal to a file
+// at the moment of failure, named by a monotonic dump sequence and the
+// trigger (never a timestamp: filenames stay deterministic under test).
+//
+// Dumping is strictly opt-in — no directory, no files — so embedding the
+// attestation stack never writes to disk behind the caller's back.
+
+// SetFlightDir sets the directory failure snapshots are written to (""
+// disables dumping, the default). The directory is created on first dump.
+func (t *Telemetry) SetFlightDir(dir string) {
+	t.flightMu.Lock()
+	defer t.flightMu.Unlock()
+	t.flightDir = dir
+}
+
+// FlightDir returns the configured flight-recorder directory.
+func (t *Telemetry) FlightDir() string {
+	t.flightMu.Lock()
+	defer t.flightMu.Unlock()
+	return t.flightDir
+}
+
+// flightDump snapshots the journal to <dir>/flight-<seq>-<trigger>.jsonl,
+// returning the path ("" when dumping is disabled). The dump header records
+// the trigger and the failing session's trace ID, so the file correlates
+// directly with the span tree at /debug/traces. Dump failures are reported,
+// never fatal: the attestation outcome stands regardless.
+func (t *Telemetry) flightDump(trigger string, trace telemetry.TraceID) (string, error) {
+	t.flightMu.Lock()
+	dir := t.flightDir
+	if dir == "" {
+		t.flightMu.Unlock()
+		return "", nil
+	}
+	t.flightSeq++
+	seq := t.flightSeq
+	t.flightMu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("attest: flight dump: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%04d-%s.jsonl", seq, trigger))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("attest: flight dump: %w", err)
+	}
+	header := trigger
+	if trace != 0 {
+		header = fmt.Sprintf("%s trace=%s", trigger, trace)
+	}
+	werr := t.Journal.Snapshot(f, header)
+	cerr := f.Close()
+	if werr != nil {
+		return path, fmt.Errorf("attest: flight dump: %w", werr)
+	}
+	if cerr != nil {
+		return path, fmt.Errorf("attest: flight dump: %w", cerr)
+	}
+	return path, nil
+}

@@ -3,6 +3,9 @@ package attest
 import (
 	"fmt"
 	"strconv"
+	"time"
+
+	"pufatt/internal/telemetry"
 )
 
 // Link models the prover's constrained communication interface: one-way
@@ -37,37 +40,86 @@ func (l Link) String() string {
 // RunSession executes one full attestation round trip on the simulated
 // clock: challenge transfer, prover computation, response transfer,
 // verification. Each session records a trace — spans for the challenge
-// draw, the prover's PUF-entangled checksum, and the verdict — into the
-// attestation tracer's ring buffer (span taxonomy in DESIGN.md).
+// draw, the prover's PUF-entangled checksum, and the verdict, plus
+// link/compute segments carrying the modelled durations — into the
+// attestation tracer's ring buffer (span taxonomy in DESIGN.md), and every
+// protocol step lands in the flight-recorder journal under the session's
+// trace ID.
 func RunSession(v *Verifier, agent ProverAgent, link Link) (Result, error) {
-	sp := tel.Tracer.StartSpan("attest.session")
+	res, _, err := tel.runSession(v, agent, link, 0)
+	return res, err
+}
+
+// secondsToDuration converts a simulated-seconds cost to a time.Duration
+// for segment rendering.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// runSession is RunSession against an explicit telemetry bundle (the fleet
+// injects its own), reporting the session's trace ID so failure handlers
+// can correlate the journal with the span tree. attempt is the 0-based
+// retry index, folded into the device health observation.
+func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attempt int) (Result, telemetry.TraceID, error) {
+	sp := t.Tracer.StartSpan("attest.session")
 	defer sp.Finish()
+	trace := sp.TraceID()
+	device := v.Device
+	if device != "" {
+		sp.SetAttr("device", device)
+	}
 
 	spc := sp.Child("challenge")
 	ch, err := v.NewSession()
 	spc.Finish()
 	if err != nil {
 		sp.SetAttr("error", err.Error())
-		return Result{}, err
+		return Result{}, trace, err
 	}
 	sp.SetAttr("session", strconv.FormatUint(ch.Session, 10))
+	t.journal(telemetry.EventSessionOpen, trace, ch.Session, device, "")
+	if v.Seeds != nil {
+		remaining := v.BudgetRemaining()
+		t.Health.ObserveSeedClaim(device, remaining)
+		t.journal(telemetry.EventSeedClaim, trace, ch.Session, device,
+			fmt.Sprintf("remaining=%d", remaining))
+	}
 
+	// The in-memory agent call IS the challenge send + response receive;
+	// both events bracket it so journal order matches the wire protocol.
+	t.journal(telemetry.EventChallengeSent, trace, ch.Session, device, "")
 	spr := sp.Child("puf_eval")
 	resp, compute, err := agent.Respond(ch)
 	spr.Finish()
 	if err != nil {
 		sp.SetAttr("error", err.Error())
-		return Result{}, err
+		return Result{}, trace, err
 	}
 	spr.SetAttr("compute_seconds", strconv.FormatFloat(compute, 'g', -1, 64))
+	t.journal(telemetry.EventChecksumReceived, trace, ch.Session, device,
+		fmt.Sprintf("helpers=%d compute=%.4gs", len(resp.Helpers), compute))
 
 	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
 	res := v.Verify(ch, resp, elapsed)
 	spv.Finish()
+
+	// Segments: the modelled link and compute costs, laid end to end from
+	// the session start, so /debug/traces shows where the round trip went
+	// even though no local clock observed these phases.
+	base := sp.Start()
+	d1 := secondsToDuration(link.TransferSeconds(ChallengeBits))
+	d2 := secondsToDuration(compute)
+	sp.Segment("link.challenge", base, d1)
+	sp.Segment("compute", base.Add(d1), d2)
+	sp.Segment("link.response", base.Add(d1+d2), secondsToDuration(link.TransferSeconds(resp.Bits())))
+
 	sp.SetAttr("verdict", verdictLabel(res))
 	sp.SetAttr("elapsed_seconds", strconv.FormatFloat(elapsed, 'g', -1, 64))
-	return res, nil
+	t.journal(telemetry.EventVerifyOutcome, trace, ch.Session, device,
+		fmt.Sprintf("verdict=%s reason=%q elapsed=%.4gs", verdictLabel(res), res.Reason, elapsed))
+	t.observeHealth(device, res, attempt)
+	return res, trace, nil
 }
 
 // verdictLabel names a result for span attributes and log lines.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pufatt/internal/rng"
+	"pufatt/internal/telemetry"
 )
 
 // This file implements the verifier-side fault-tolerance policy: the
@@ -81,8 +82,8 @@ func IsTransport(err error) bool {
 	// valid frame of the expected kind.
 	for _, sentinel := range []error{
 		ErrBadMagic, ErrBadVersion, ErrFrameType, ErrChecksum,
-		ErrFrameTooLarge, ErrBadTime, ErrLinkDrop, ErrLinkTimeout,
-		ErrStaleFrame,
+		ErrFrameTooLarge, ErrBadTime, ErrTraceExt, ErrLinkDrop,
+		ErrLinkTimeout, ErrStaleFrame,
 	} {
 		if errors.Is(err, sentinel) {
 			return true
@@ -176,15 +177,17 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	return time.Duration(d * (1 + 0.5*u))
 }
 
-// sleep waits out the backoff for retry attempt n using the policy clock.
-func (p RetryPolicy) sleep(attempt int) {
+// sleep waits out the backoff for retry attempt n using the policy clock,
+// journalling the computed delay against the given telemetry bundle.
+func (p RetryPolicy) sleep(t *Telemetry, device string, attempt int) {
 	d := p.Backoff(attempt)
 	if d <= 0 {
 		return
 	}
 	// The delay is observed when computed, not measured around the sleep,
 	// so the backoff histogram is exact even under an injected no-op clock.
-	tel.Backoff.Observe(d.Seconds())
+	t.Backoff.Observe(d.Seconds())
+	t.journal(telemetry.EventBackoff, 0, 0, device, d.String())
 	if p.Sleep != nil {
 		p.Sleep(d)
 		return
@@ -196,19 +199,27 @@ func (p RetryPolicy) sleep(attempt int) {
 // attempt budget is exhausted; it reports the error of the last attempt and
 // the number of attempts made. op receives the 0-based attempt index.
 func (p RetryPolicy) Do(op func(attempt int) error) (attempts int, err error) {
+	return p.do(tel, "", op)
+}
+
+// do is Do against an explicit telemetry bundle: attempts and backoffs are
+// journalled (with the device name when known) as well as counted.
+func (p RetryPolicy) do(t *Telemetry, device string, op func(attempt int) error) (attempts int, err error) {
 	budget := p.attempts()
 	for i := 0; i < budget; i++ {
 		if i > 0 {
-			p.sleep(i)
+			p.sleep(t, device, i)
+			t.journal(telemetry.EventRetry, 0, 0, device,
+				fmt.Sprintf("attempt=%d cause=%q", i+1, err))
 		}
-		tel.RetryAttempts.Inc()
+		t.RetryAttempts.Inc()
 		err = op(i)
 		attempts = i + 1
 		if err == nil || !IsTransport(err) {
 			return attempts, err
 		}
 	}
-	tel.RetryExhausted.Inc()
+	t.RetryExhausted.Inc()
 	return attempts, fmt.Errorf("attest: %d attempts exhausted: %w", attempts, err)
 }
 
@@ -226,14 +237,39 @@ func RunSessionRetry(v *Verifier, agent ProverAgent, link Link, policy RetryPoli
 // retry budget mid-node. A context error is not a transport fault — it is
 // returned immediately without consuming further attempts.
 func RunSessionRetryContext(ctx context.Context, v *Verifier, agent ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
-	var res Result
-	attempts, err := policy.Do(func(int) error {
+	return tel.runSessionRetry(ctx, v, agent, link, policy)
+}
+
+// runSessionRetry is the retry loop against an explicit telemetry bundle.
+// It is also the failure boundary: a terminal transport error feeds the
+// device health registry (an availability datum) and — like a rejected
+// verdict — triggers a flight-recorder dump carrying the failing session's
+// trace ID.
+func (t *Telemetry) runSessionRetry(ctx context.Context, v *Verifier, agent ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
+	var (
+		res   Result
+		trace telemetry.TraceID
+	)
+	attempts, err := policy.do(t, v.Device, func(attempt int) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("%w: %v", ErrCancelled, cerr)
 		}
 		var opErr error
-		res, opErr = RunSession(v, agent, link)
+		res, trace, opErr = t.runSession(v, agent, link, attempt)
 		return opErr
 	})
+	switch {
+	case err != nil && IsTransport(err):
+		t.Health.Observe(v.Device, telemetry.SessionObservation{
+			Outcome: telemetry.OutcomeTransport, Retries: attempts - 1,
+		})
+		if _, derr := t.flightDump("transport", trace); derr != nil {
+			t.journal(telemetry.EventVerifyOutcome, trace, 0, v.Device, "flight dump failed: "+derr.Error())
+		}
+	case err == nil && !res.Accepted:
+		if _, derr := t.flightDump("rejected", trace); derr != nil {
+			t.journal(telemetry.EventVerifyOutcome, trace, 0, v.Device, "flight dump failed: "+derr.Error())
+		}
+	}
 	return res, attempts, err
 }

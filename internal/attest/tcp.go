@@ -8,8 +8,11 @@ import (
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"time"
+
+	"pufatt/internal/telemetry"
 )
 
 // This file carries the protocol over a real byte stream (net.Conn), for
@@ -41,14 +44,14 @@ var ErrBadTime = errors.New("attest: invalid compute-time trailer")
 // exchange is: challenge frame in, response frame + time trailer out.
 func Serve(conn io.ReadWriter, agent ProverAgent) error {
 	for {
-		ch, err := ReadChallenge(conn)
+		ch, tc, err := ReadChallengeTraced(conn)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("attest: serve: %w", err)
 		}
-		resp, compute, err := agent.Respond(ch)
+		resp, compute, err := respondTraced(agent, ch, tc)
 		if err != nil {
 			return fmt.Errorf("attest: serve respond: %w", err)
 		}
@@ -59,6 +62,24 @@ func Serve(conn io.ReadWriter, agent ProverAgent) error {
 			return err
 		}
 	}
+}
+
+// respondTraced runs the prover's computation inside a span adopted into
+// the verifier's trace (when the challenge frame carried one), so both
+// processes' /debug/traces rings show the same trace ID for the session. A
+// challenge without a context (a v1 peer, or a mangled extension) gets a
+// fresh local trace instead.
+func respondTraced(agent ProverAgent, ch Challenge, tc telemetry.TraceContext) (Response, float64, error) {
+	sp := tel.Tracer.StartSpanInTrace("attest.prove", tc)
+	defer sp.Finish()
+	sp.SetAttr("session", strconv.FormatUint(ch.Session, 10))
+	resp, compute, err := agent.Respond(ch)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return resp, compute, err
+	}
+	sp.SetAttr("compute_seconds", strconv.FormatFloat(compute, 'g', -1, 64))
+	return resp, compute, nil
 }
 
 // ServeContext is Serve bound to a context: when ctx is cancelled or its
@@ -84,8 +105,22 @@ func Request(conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
 // and cancellation aborts in-flight reads. A session that completes yields
 // a verdict; every other failure mode is a transport fault.
 func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link Link) (Result, error) {
+	res, _, err := requestTraced(ctx, conn, v, link, 0)
+	return res, err
+}
+
+// requestTraced is RequestContext reporting the session's trace ID (for
+// flight-dump correlation) and journalling each protocol step. The
+// challenge frame carries the session span's context, so the remote
+// prover's span lands in the same trace.
+func requestTraced(ctx context.Context, conn io.ReadWriter, v *Verifier, link Link, attempt int) (Result, telemetry.TraceID, error) {
 	sp := tel.Tracer.StartSpan("attest.session.tcp")
 	defer sp.Finish()
+	trace := sp.TraceID()
+	device := v.Device
+	if device != "" {
+		sp.SetAttr("device", device)
+	}
 	if nc, ok := conn.(net.Conn); ok {
 		stop := guardConn(ctx, nc)
 		defer stop()
@@ -95,20 +130,28 @@ func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link L
 	spc.Finish()
 	if err != nil {
 		sp.SetAttr("error", err.Error())
-		return Result{}, err
+		return Result{}, trace, err
 	}
 	sp.SetAttr("session", fmt.Sprintf("%d", ch.Session))
+	tel.journal(telemetry.EventSessionOpen, trace, ch.Session, device, "")
+	if v.Seeds != nil {
+		remaining := v.BudgetRemaining()
+		tel.Health.ObserveSeedClaim(device, remaining)
+		tel.journal(telemetry.EventSeedClaim, trace, ch.Session, device,
+			fmt.Sprintf("remaining=%d", remaining))
+	}
 	spx := sp.Child("puf_eval")
-	if err := WriteChallenge(conn, ch); err != nil {
+	if err := WriteChallengeTraced(conn, ch, sp.Context()); err != nil {
 		spx.Finish()
 		sp.SetAttr("error", err.Error())
-		return Result{}, ctxErr(ctx, err)
+		return Result{}, trace, ctxErr(ctx, err)
 	}
+	tel.journal(telemetry.EventChallengeSent, trace, ch.Session, device, "")
 	resp, err := ReadResponse(conn)
 	spx.Finish()
 	if err != nil {
 		sp.SetAttr("error", err.Error())
-		return Result{}, ctxErr(ctx, err)
+		return Result{}, trace, ctxErr(ctx, err)
 	}
 	if resp.Session != ch.Session {
 		// A well-formed response for a *different* session is a stream
@@ -118,19 +161,34 @@ func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link L
 		err := Transport(fmt.Errorf("%w: response for session %d, want %d",
 			ErrStaleFrame, resp.Session, ch.Session))
 		sp.SetAttr("error", err.Error())
-		return Result{}, err
+		return Result{}, trace, err
 	}
 	compute, err := readTime(conn)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
-		return Result{}, ctxErr(ctx, err)
+		return Result{}, trace, ctxErr(ctx, err)
 	}
+	tel.journal(telemetry.EventChecksumReceived, trace, ch.Session, device,
+		fmt.Sprintf("helpers=%d compute=%.4gs", len(resp.Helpers), compute))
 	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
 	res := v.Verify(ch, resp, elapsed)
 	spv.Finish()
+
+	// Segments for the modelled portions of the round trip (the local
+	// clock only saw wire I/O; the security-relevant timing is modelled).
+	base := sp.Start()
+	d1 := secondsToDuration(link.TransferSeconds(ChallengeBits))
+	d2 := secondsToDuration(compute)
+	sp.Segment("link.challenge", base, d1)
+	sp.Segment("compute", base.Add(d1), d2)
+	sp.Segment("link.response", base.Add(d1+d2), secondsToDuration(link.TransferSeconds(resp.Bits())))
+
 	sp.SetAttr("verdict", verdictLabel(res))
-	return res, nil
+	tel.journal(telemetry.EventVerifyOutcome, trace, ch.Session, device,
+		fmt.Sprintf("verdict=%s reason=%q elapsed=%.4gs", verdictLabel(res), res.Reason, elapsed))
+	tel.observeHealth(device, res, attempt)
+	return res, trace, nil
 }
 
 // RequestWithRetry attests with the given retry policy, dialing a fresh
@@ -140,8 +198,11 @@ func RequestContext(ctx context.Context, conn io.ReadWriter, v *Verifier, link L
 // that produced it and is never retried. It reports the verdict, the number
 // of attempts, and the terminal error if the budget was exhausted.
 func RequestWithRetry(ctx context.Context, dial func() (net.Conn, error), v *Verifier, link Link, policy RetryPolicy) (Result, int, error) {
-	var res Result
-	attempts, err := policy.Do(func(int) error {
+	var (
+		res   Result
+		trace telemetry.TraceID
+	)
+	attempts, err := policy.do(tel, v.Device, func(attempt int) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -156,7 +217,7 @@ func RequestWithRetry(ctx context.Context, dial func() (net.Conn, error), v *Ver
 		}
 		defer conn.Close()
 		var opErr error
-		res, opErr = RequestContext(attemptCtx, conn, v, link)
+		res, trace, opErr = requestTraced(attemptCtx, conn, v, link, attempt)
 		if opErr != nil && ctx.Err() == nil && attemptCtx.Err() != nil {
 			// The per-attempt deadline fired, not the caller's context:
 			// report it as a link timeout so the budget logic retries.
@@ -164,6 +225,19 @@ func RequestWithRetry(ctx context.Context, dial func() (net.Conn, error), v *Ver
 		}
 		return opErr
 	})
+	switch {
+	case err != nil && IsTransport(err):
+		tel.Health.Observe(v.Device, telemetry.SessionObservation{
+			Outcome: telemetry.OutcomeTransport, Retries: attempts - 1,
+		})
+		if _, derr := tel.flightDump("transport", trace); derr != nil {
+			tel.journal(telemetry.EventVerifyOutcome, trace, 0, v.Device, "flight dump failed: "+derr.Error())
+		}
+	case err == nil && !res.Accepted:
+		if _, derr := tel.flightDump("rejected", trace); derr != nil {
+			tel.journal(telemetry.EventVerifyOutcome, trace, 0, v.Device, "flight dump failed: "+derr.Error())
+		}
+	}
 	return res, attempts, err
 }
 
@@ -275,7 +349,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.Timeout > 0 {
 			_ = conn.SetDeadline(time.Now().Add(s.Timeout))
 		}
-		ch, err := ReadChallenge(conn)
+		ch, tc, err := ReadChallengeTraced(conn)
 		if errors.Is(err, io.EOF) {
 			return
 		}
@@ -285,7 +359,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp, compute, err := s.Agent.Respond(ch)
+		resp, compute, err := respondTraced(s.Agent, ch, tc)
 		if err != nil {
 			s.report(fmt.Errorf("attest: serve respond: %w", err))
 			return

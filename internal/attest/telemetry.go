@@ -2,6 +2,7 @@ package attest
 
 import (
 	"strings"
+	"sync"
 
 	"pufatt/internal/telemetry"
 )
@@ -25,11 +26,19 @@ import (
 type Telemetry struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+	// Journal is the session flight recorder: a bounded ring of structured
+	// protocol events, dumpable via /debug/journal and snapshotted to a
+	// file on session failure when a flight directory is set.
+	Journal *telemetry.Journal
+	// Health is the per-device health registry judged against its SLO,
+	// served at /devices and /healthz.
+	Health *telemetry.HealthRegistry
 
 	// Frame codec.
 	FramesSent     *telemetry.CounterVec // attest_frames_sent_total{type}
 	FramesReceived *telemetry.CounterVec // attest_frames_received_total{type}
 	FramesRejected *telemetry.CounterVec // attest_frames_rejected_total{reason}
+	TraceHeaders   *telemetry.CounterVec // attest_trace_headers_total{event}
 
 	// Protocol outcomes.
 	RTT      *telemetry.Histogram  // attest_rtt_seconds
@@ -50,6 +59,20 @@ type Telemetry struct {
 
 	// Fault injection.
 	FaultsInjected *telemetry.CounterVec // attest_faults_injected_total{class}
+
+	// Observability self-accounting: data the tracer ring and the journal
+	// ring overwrote to stay bounded. Silent truncation would read as
+	// "nothing happened"; these counters make it a measurable signal.
+	SpansDropped  *telemetry.Counter // telemetry_spans_dropped_total
+	EventsDropped *telemetry.Counter // telemetry_journal_events_dropped_total
+
+	// Device health.
+	StatusTransitions *telemetry.CounterVec // attest_device_status_transitions_total{to}
+
+	// Flight-recorder state (see flight.go).
+	flightMu  sync.Mutex
+	flightDir string
+	flightSeq uint64
 }
 
 // NewTelemetry registers the attestation instrument set on the registry
@@ -59,9 +82,11 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 	if tracer == nil {
 		tracer = telemetry.DefaultTracer()
 	}
-	return &Telemetry{
+	t := &Telemetry{
 		Registry: reg,
 		Tracer:   tracer,
+		Journal:  telemetry.NewJournal(0),
+		Health:   telemetry.NewHealthRegistry(telemetry.DefaultSLO()),
 
 		FramesSent: reg.CounterVec("attest_frames_sent_total",
 			"Protocol frames written, by frame type.", "type"),
@@ -69,6 +94,8 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 			"Protocol frames read and validated, by frame type.", "type"),
 		FramesRejected: reg.CounterVec("attest_frames_rejected_total",
 			"Frames rejected by the codec's validation, by reason.", "reason"),
+		TraceHeaders: reg.CounterVec("attest_trace_headers_total",
+			"Trace-context frame extensions, by event (sent, received, corrupt).", "event"),
 
 		RTT: reg.Histogram("attest_rtt_seconds",
 			"Verifier-observed attestation round-trip time (challenge transfer + prover compute + response transfer).",
@@ -98,7 +125,24 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 
 		FaultsInjected: reg.CounterVec("attest_faults_injected_total",
 			"Faults injected by the deterministic harness, by class.", "class"),
+
+		SpansDropped: reg.Counter("telemetry_spans_dropped_total",
+			"Finished root spans evicted from the tracer ring to stay bounded."),
+		EventsDropped: reg.Counter("telemetry_journal_events_dropped_total",
+			"Journal events overwritten by the flight-recorder ring to stay bounded."),
+
+		StatusTransitions: reg.CounterVec("attest_device_status_transitions_total",
+			"Device health status transitions, by resulting status.", "to"),
 	}
+	// The tracer and journal cannot self-register (they may outlive any one
+	// registry), so this bundle attaches their drop tallies; the most
+	// recently built bundle owns a shared tracer's counter.
+	tracer.SetDropCounter(t.SpansDropped)
+	t.Journal.SetDropCounter(t.EventsDropped)
+	t.Health.OnTransition(func(device string, tr telemetry.Transition) {
+		t.StatusTransitions.With(tr.To.String()).Inc()
+	})
+	return t
 }
 
 // tel is the package-default telemetry: every instrument registered on the
@@ -166,4 +210,24 @@ func (t *Telemetry) observeSession(res Result) {
 		t.Sessions.With("rejected").Inc()
 		t.Rejects.With(rejectionClass(res.Reason)).Inc()
 	}
+}
+
+// journal appends one protocol event to the flight recorder.
+func (t *Telemetry) journal(kind telemetry.EventKind, trace telemetry.TraceID, session uint64, device, detail string) {
+	t.Journal.Append(telemetry.Event{
+		Trace: trace, Session: session, Device: device, Kind: kind, Detail: detail,
+	})
+}
+
+// observeHealth folds one completed session into the device health
+// registry (no-op for an unnamed device).
+func (t *Telemetry) observeHealth(device string, res Result, retries int) {
+	obs := telemetry.SessionObservation{RTT: res.Elapsed, Retries: retries}
+	if res.Accepted {
+		obs.Outcome = telemetry.OutcomeAccepted
+	} else {
+		obs.Outcome = telemetry.OutcomeRejected
+		obs.RejectClass = rejectionClass(res.Reason)
+	}
+	t.Health.Observe(device, obs)
 }

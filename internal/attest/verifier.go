@@ -22,6 +22,12 @@ type Result struct {
 // checksum parameters, the device's reference source (emulator or CRP
 // database), and the timing policy.
 type Verifier struct {
+	// Device names the subject device for observability: health-registry
+	// aggregates, journal events, and span attributes are keyed by it.
+	// Empty means anonymous (sessions run, but no per-device health is
+	// kept). Fleet.Enroll fills it with "node-<id>" when unset.
+	Device string
+
 	Expected *swatt.Image
 	Pipeline *core.VerifierPipeline
 	// BaseFreqHz is the prover clock frequency V expects (F_base in

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The session flight recorder: a bounded ring journal of structured
+// protocol events. Metrics aggregate and traces sample; the journal is the
+// third leg — an ordered, per-event record of what the protocol actually
+// did (session opened, seed claimed, challenge sent, checksum received,
+// verdict, retries, injected faults, quarantine transitions), each event
+// carrying the trace ID of the session it belongs to. When a session
+// fails, the recent journal IS the post-mortem: dump it, filter by trace
+// ID, and the failure's whole protocol history is in hand.
+//
+// The ring stores events by value in a preallocated slice, so Append is
+// one lock, one copy, zero allocations — cheap enough to live on the
+// attestation hot path. Overwrites are counted, never silent.
+
+// EventKind classifies a journal event.
+type EventKind uint8
+
+// The protocol event taxonomy. The set is closed and small on purpose:
+// kinds are metric-label-grade enumerations, with the free-form texture of
+// an event in its Detail string.
+const (
+	EventSessionOpen      EventKind = iota // challenge drawn, session exists
+	EventSeedClaim                         // durable budget seed claimed
+	EventChallengeSent                     // challenge frame left the verifier
+	EventChecksumReceived                  // response (tag + helpers) arrived
+	EventVerifyOutcome                     // verdict rendered
+	EventRetry                             // another attempt started
+	EventBackoff                           // backoff computed before a retry
+	EventFaultInjected                     // deterministic harness fired
+	EventQuarantine                        // circuit-breaker transition
+
+	numEventKinds
+)
+
+// String names the kind (snake_case, stable: dumps are parsed by tools).
+func (k EventKind) String() string {
+	switch k {
+	case EventSessionOpen:
+		return "session_open"
+	case EventSeedClaim:
+		return "seed_claim"
+	case EventChallengeSent:
+		return "challenge_sent"
+	case EventChecksumReceived:
+		return "checksum_received"
+	case EventVerifyOutcome:
+		return "verify_outcome"
+	case EventRetry:
+		return "retry"
+	case EventBackoff:
+		return "backoff"
+	case EventFaultInjected:
+		return "fault_injected"
+	case EventQuarantine:
+		return "quarantine"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one journal record. Seq and Time are stamped by Append; the
+// caller fills the rest. Trace links the event to the session's span tree
+// (zero when no session context exists, e.g. a fault injected between
+// sessions), Session is the protocol session number, and Device names the
+// subject device when known.
+type Event struct {
+	Seq     uint64
+	Time    time.Time
+	Trace   TraceID
+	Session uint64
+	Device  string
+	Kind    EventKind
+	Detail  string
+}
+
+// DefaultJournalCapacity is the ring size of NewJournal(0).
+const DefaultJournalCapacity = 1024
+
+// Journal is the bounded event ring. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	ring   []Event
+	next   int
+	filled bool
+	seq    uint64
+
+	dropped     atomic.Uint64
+	dropCounter atomic.Pointer[Counter]
+}
+
+// NewJournal returns a journal retaining the last capacity events
+// (capacity <= 0 means DefaultJournalCapacity) on the real-time clock.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{clock: time.Now, ring: make([]Event, capacity)}
+}
+
+// SetClock injects the journal's clock (nil restores time.Now), so event
+// timestamps are deterministic in tests.
+func (j *Journal) SetClock(now func() time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	j.clock = now
+}
+
+// SetDropCounter mirrors ring overwrites into a registry counter (nil
+// detaches); like the tracer, the journal cannot self-register.
+func (j *Journal) SetDropCounter(c *Counter) { j.dropCounter.Store(c) }
+
+// Dropped reports how many events the ring has overwritten — the
+// journal's silent-truncation tally.
+func (j *Journal) Dropped() uint64 { return j.dropped.Load() }
+
+// Append stamps the event with the next sequence number and the journal
+// clock and stores it, overwriting (and counting) the oldest event when
+// the ring is full. It returns the stamped sequence number.
+func (j *Journal) Append(e Event) uint64 {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	e.Time = j.clock()
+	evict := j.filled
+	j.ring[j.next] = e
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.filled = true
+	}
+	j.mu.Unlock()
+	if evict {
+		j.dropped.Add(1)
+		if c := j.dropCounter.Load(); c != nil {
+			c.Inc()
+		}
+	}
+	return e.Seq
+}
+
+// Len reports how many events the ring currently retains.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.filled {
+		return len(j.ring)
+	}
+	return j.next
+}
+
+// Recent returns the retained events, oldest first.
+func (j *Journal) Recent() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.ring))
+	if j.filled {
+		out = append(out, j.ring[j.next:]...)
+	}
+	out = append(out, j.ring[:j.next]...)
+	return out
+}
+
+// ByTrace returns the retained events carrying the given trace ID, oldest
+// first — one session's protocol history.
+func (j *Journal) ByTrace(id TraceID) []Event {
+	var out []Event
+	for _, e := range j.Recent() {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// writeEventJSON renders one event as a single-line JSON object.
+func writeEventJSON(b *strings.Builder, e Event) {
+	fmt.Fprintf(b, `{"seq": %d, "time_unix_ns": %d, "kind": %q`,
+		e.Seq, e.Time.UnixNano(), e.Kind.String())
+	if e.Trace != 0 {
+		fmt.Fprintf(b, `, "trace_id": %q`, e.Trace.String())
+	}
+	if e.Session != 0 {
+		fmt.Fprintf(b, `, "session": %d`, e.Session)
+	}
+	if e.Device != "" {
+		fmt.Fprintf(b, `, "device": %s`, strconv.Quote(e.Device))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(b, `, "detail": %s`, strconv.Quote(e.Detail))
+	}
+	b.WriteString("}")
+}
+
+// WriteJSON renders the retained events (oldest first) as a JSON array.
+func (j *Journal) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, e := range j.Recent() {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		writeEventJSON(&b, e)
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot writes the retained events as JSON lines (one event per line),
+// preceded by a header line recording the drop tally — the flight-recorder
+// dump format. JSON lines rather than an array so a dump truncated by the
+// failing process is still parseable up to the cut.
+func (j *Journal) Snapshot(w io.Writer, header string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"flight_recorder": %s, "events": %d, "dropped": %d}`,
+		strconv.Quote(header), j.Len(), j.Dropped())
+	b.WriteString("\n")
+	for _, e := range j.Recent() {
+		writeEventJSON(&b, e)
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,6 +31,10 @@ type Span struct {
 	name   string
 	start  time.Time
 
+	trace    TraceID
+	id       SpanID
+	parentID SpanID // the in-process parent's ID, or the remote parent's
+
 	mu       sync.Mutex
 	end      time.Time
 	finished bool
@@ -42,6 +47,20 @@ func (s *Span) Name() string { return s.name }
 
 // Start returns the span's start time.
 func (s *Span) Start() time.Time { return s.start }
+
+// TraceID returns the trace this span belongs to.
+func (s *Span) TraceID() TraceID { return s.trace }
+
+// SpanID returns the span's own ID.
+func (s *Span) SpanID() SpanID { return s.id }
+
+// ParentSpanID returns the parent span's ID (in-process or remote); zero
+// for a true root.
+func (s *Span) ParentSpanID() SpanID { return s.parentID }
+
+// Context returns the span's propagatable trace context — what a wire
+// frame carries so a remote peer parents its spans into this trace.
+func (s *Span) Context() TraceContext { return TraceContext{Trace: s.trace, Span: s.id} }
 
 // SetAttr attaches a key/value attribute to the span.
 func (s *Span) SetAttr(key, value string) {
@@ -60,9 +79,31 @@ func (s *Span) Attr(key string) string {
 	return s.attrs[key]
 }
 
-// Child opens a child span with the same tracer clock.
+// Child opens a child span with the same tracer clock, inheriting the
+// trace ID.
 func (s *Span) Child(name string) *Span {
-	c := &Span{tracer: s.tracer, parent: s, name: name, start: s.tracer.now()}
+	c := &Span{
+		tracer: s.tracer, parent: s, name: name, start: s.tracer.now(),
+		trace: s.trace, id: SpanID(s.tracer.mintID()), parentID: s.id,
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Segment records an already-measured child span covering [start,
+// start+d]. The cross-process session tree uses this for durations that
+// are computed rather than clocked in this process — the modelled link
+// transfers and the prover's simulated compute time — so the verifier's
+// trace shows link/compute/verify segments without pretending its local
+// clock observed them.
+func (s *Span) Segment(name string, start time.Time, d time.Duration) *Span {
+	c := &Span{
+		tracer: s.tracer, parent: s, name: name, start: start,
+		trace: s.trace, id: SpanID(s.tracer.mintID()), parentID: s.id,
+		end: start.Add(d), finished: true,
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -106,11 +147,15 @@ func (s *Span) Duration() time.Duration {
 // Tracer mints spans against an injectable clock and retains the most
 // recent finished root spans in a ring buffer.
 type Tracer struct {
-	mu     sync.Mutex
-	clock  func() time.Time
-	ring   []*Span
-	next   int
-	filled bool
+	mu      sync.Mutex
+	clock   func() time.Time
+	ring    []*Span
+	next    int
+	filled  bool
+	idState uint64 // SplitMix64 state for trace/span ID minting
+
+	dropped     atomic.Uint64 // root spans evicted by ring overwrite
+	dropCounter atomic.Pointer[Counter]
 }
 
 // DefaultTraceCapacity is the ring size of NewTracer(0) and the package
@@ -118,12 +163,14 @@ type Tracer struct {
 const DefaultTraceCapacity = 64
 
 // NewTracer returns a tracer retaining the last capacity root spans
-// (capacity <= 0 means DefaultTraceCapacity) on the real-time clock.
+// (capacity <= 0 means DefaultTraceCapacity) on the real-time clock, with
+// its ID stream seeded from crypto/rand (override with SetIDSeed for
+// deterministic IDs).
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{clock: time.Now, ring: make([]*Span, capacity)}
+	return &Tracer{clock: time.Now, ring: make([]*Span, capacity), idState: randomIDSeed()}
 }
 
 var defaultTracer = NewTracer(0)
@@ -154,20 +201,57 @@ func (t *Tracer) now() time.Time {
 	return t.clock()
 }
 
-// StartSpan opens a root span.
+// StartSpan opens a root span in a freshly minted trace.
 func (t *Tracer) StartSpan(name string) *Span {
-	return &Span{tracer: t, name: name, start: t.now()}
+	return &Span{
+		tracer: t, name: name, start: t.now(),
+		trace: TraceID(t.mintID()), id: SpanID(t.mintID()),
+	}
 }
 
-// record stores a finished root span in the ring.
+// StartSpanInTrace opens a root span adopted into an existing trace — the
+// receiving half of cross-process propagation: a prover that decodes a
+// TraceContext from the challenge frame opens its serving span here, and
+// both processes' trace rings then carry the same trace ID for the
+// session. The span is a ring-recorded root in THIS process (its remote
+// parent lives elsewhere); an invalid context degrades to StartSpan.
+func (t *Tracer) StartSpanInTrace(name string, tc TraceContext) *Span {
+	if !tc.Valid() {
+		return t.StartSpan(name)
+	}
+	return &Span{
+		tracer: t, name: name, start: t.now(),
+		trace: tc.Trace, id: SpanID(t.mintID()), parentID: tc.Span,
+	}
+}
+
+// SetDropCounter mirrors ring evictions into a registry counter (nil
+// detaches). The tracer cannot self-register — it may serve many
+// registries — so the owning telemetry bundle attaches the instrument.
+func (t *Tracer) SetDropCounter(c *Counter) { t.dropCounter.Store(c) }
+
+// Dropped reports how many finished root spans the ring has evicted to
+// make room — the tracer's silent-truncation tally.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// record stores a finished root span in the ring, counting the span it
+// evicts (a full ring overwrites oldest-first; without the counter that
+// truncation would be invisible).
 func (t *Tracer) record(s *Span) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	evicted := t.ring[t.next] != nil
 	t.ring[t.next] = s
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.filled = true
+	}
+	t.mu.Unlock()
+	if evicted {
+		t.dropped.Add(1)
+		if c := t.dropCounter.Load(); c != nil {
+			c.Inc()
+		}
 	}
 }
 
@@ -189,8 +273,22 @@ func (t *Tracer) Recent() []*Span {
 	return res
 }
 
+// ByTrace returns the retained root spans belonging to the given trace,
+// oldest first — the stitching query: on either end of the wire it yields
+// that end's view of one cross-process session.
+func (t *Tracer) ByTrace(id TraceID) []*Span {
+	var out []*Span
+	for _, s := range t.Recent() {
+		if s.trace == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // WriteJSON renders the retained traces as a JSON array of span trees:
-// {"name", "start_unix_ns", "duration_seconds", "attrs", "children"}.
+// {"name", "trace_id", "span_id", "parent_span_id", "start_unix_ns",
+// "duration_seconds", "attrs", "children"}.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString("[")
@@ -207,8 +305,13 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 }
 
 func writeSpanJSON(b *strings.Builder, s *Span) {
-	fmt.Fprintf(b, `{"name": %s, "start_unix_ns": %d, "duration_seconds": %s`,
-		strconv.Quote(s.name), s.start.UnixNano(), jsonNumber(s.Duration().Seconds()))
+	fmt.Fprintf(b, `{"name": %s, "trace_id": %q, "span_id": %q`,
+		strconv.Quote(s.name), s.trace.String(), s.id.String())
+	if s.parentID != 0 {
+		fmt.Fprintf(b, `, "parent_span_id": %q`, s.parentID.String())
+	}
+	fmt.Fprintf(b, `, "start_unix_ns": %d, "duration_seconds": %s`,
+		s.start.UnixNano(), jsonNumber(s.Duration().Seconds()))
 	s.mu.Lock()
 	attrs := make([]string, 0, len(s.attrs))
 	for k := range s.attrs {

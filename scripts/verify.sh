@@ -30,6 +30,9 @@ go test ./...
 echo "== go test -race ./internal/attest/... (fault-injection suite)"
 go test -race ./internal/attest/...
 
+echo "== go test -race ./internal/telemetry/... (tracer ring, journal, health registry)"
+go test -race ./internal/telemetry/...
+
 echo "== go test -race ./internal/crp/... (database + durable store claim paths)"
 go test -race ./internal/crp/...
 
