@@ -786,3 +786,79 @@ func BenchmarkCRPStoreCompact(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 6: epoch lifecycle (device lifetime) ---
+
+// benchEpochDevice is a small-width device for the re-enrollment benches:
+// epoch cutover cost is dominated by protocol I/O and measurement fan-out,
+// not simulator width.
+func benchEpochDevice() *core.Device {
+	cfg := core.DefaultConfig()
+	cfg.Width = 16
+	return core.MustNewDevice(core.MustNewDesign(cfg), rng.New(3), 5)
+}
+
+func benchEpochSeeds(epoch uint32, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(epoch)<<32 | uint64(i+1)
+	}
+	return out
+}
+
+// BenchmarkEpochReenrollThroughput measures one full rolling re-enrollment
+// per iteration: reconfigure the device to the next epoch, measure 64
+// seeds x 8 references on the parallel batch engine, stage the snapshot
+// durably, and commit the cutover. The seeds/s metric is the enrollment
+// pipeline's sustained throughput.
+func BenchmarkEpochReenrollThroughput(b *testing.B) {
+	const seedsPerEpoch = 64
+	dev := benchEpochDevice()
+	st, err := crpstore.Enroll(b.TempDir(), dev, benchEpochSeeds(0, seedsPerEpoch), 0,
+		crpstore.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := uint32(i + 1)
+		dev.SetEpoch(epoch)
+		if err := st.Reenroll(dev, benchEpochSeeds(epoch, seedsPerEpoch), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(seedsPerEpoch)*float64(b.N)/b.Elapsed().Seconds(), "seeds/s")
+}
+
+// BenchmarkEpochCutoverLatency isolates StagedEpoch.Commit — the
+// gate-exclusive window live attestation sessions wait on during a
+// cutover: transition-record append, snapshot rename, WAL reset, and the
+// in-memory swap. Staging (the expensive measurement) happens off-clock,
+// exactly as it does under the Reenroller.
+func BenchmarkEpochCutoverLatency(b *testing.B) {
+	const seedsPerEpoch = 64
+	dev := benchEpochDevice()
+	st, err := crpstore.Enroll(b.TempDir(), dev, benchEpochSeeds(0, seedsPerEpoch), 0,
+		crpstore.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		epoch := uint32(i + 1)
+		dev.SetEpoch(epoch)
+		staged, err := st.StageEpoch(dev, benchEpochSeeds(epoch, seedsPerEpoch), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := staged.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

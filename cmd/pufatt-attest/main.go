@@ -30,10 +30,15 @@
 //
 // Durable CRP budget: -store-dir points the verifier at a persistent
 // enrollment store; each session claims one single-use seed, and claims
-// survive restarts (crash-safe via snapshot + WAL). Maintenance:
+// survive restarts (crash-safe via snapshot + WAL). When the budget runs
+// low (-slo-budget watermark) the device degrades at /devices; when it
+// empties, sessions fail with the typed exhaustion error and the device
+// reports awaiting-reenroll until -reenroll cuts it over to a fresh
+// reconfiguration epoch (old claims can never resurface). Maintenance:
 //
 //	pufatt-attest -store-dir /var/lib/pufatt/chip0 -enroll 1024
 //	pufatt-attest -store-dir /var/lib/pufatt/chip0 -compact
+//	pufatt-attest -store-dir /var/lib/pufatt/chip0 -reenroll 1024
 //	pufatt-attest -store-dir /var/lib/pufatt/chip0 -mode local -sessions 3
 package main
 
@@ -88,11 +93,15 @@ func main() {
 			"per-device timing SLO: p95 round-trip bound in seconds; a device over it turns suspect at /devices (0 = no timing SLO)")
 		sloFNR = flag.Float64("slo-fnr", 0.25,
 			"per-device response-quality SLO: false-negative-rate drift bound (0 = disabled)")
+		sloBudget = flag.Int("slo-budget", 0,
+			"per-device seed-budget watermark: at or below this many remaining seeds the device degrades with 'seed budget low' at /devices (0 = disabled)")
 
 		storeDir = flag.String("store-dir", "",
 			"durable CRP store directory: verifier sessions claim single-use seeds that survive restarts (empty = emulation model, no budget)")
-		enroll  = flag.Int("enroll", 0, "enroll N fresh seeds into -store-dir and exit")
-		compact = flag.Bool("compact", false, "fold the -store-dir claim WAL into its snapshot and exit")
+		enroll   = flag.Int("enroll", 0, "enroll N fresh seeds into -store-dir and exit")
+		compact  = flag.Bool("compact", false, "fold the -store-dir claim WAL into its snapshot and exit")
+		reenroll = flag.Int("reenroll", 0,
+			"re-enroll N seeds into -store-dir under the next reconfiguration epoch (retiring the current one) and exit")
 	)
 	version := buildinfo.VersionFlags("pufatt-attest")
 	flag.Parse()
@@ -111,14 +120,15 @@ func main() {
 	slo := attest.Metrics().Health.SLO()
 	slo.MaxRTTP95 = *sloRTT
 	slo.MaxFNR = *sloFNR
+	slo.MinSeedBudget = *sloBudget
 	attest.Metrics().Health.SetSLO(slo)
 
 	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
 	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)
 	check(err)
 
-	if *enroll > 0 || *compact {
-		check(storeAdmin(*storeDir, *enroll, *compact, dev))
+	if *enroll > 0 || *compact || *reenroll > 0 {
+		check(storeAdmin(*storeDir, *enroll, *compact, *reenroll, dev))
 		return
 	}
 	var budget attest.SeedBudget
@@ -127,8 +137,15 @@ func main() {
 		check(err)
 		defer st.Close()
 		budget = st
-		fmt.Printf("crp store: %s — %d of %d seeds remaining, %d WAL record(s) replayed\n",
-			*storeDir, st.Remaining(), st.Len(), st.WALRecords())
+		// The simulated device must run the epoch the store was enrolled
+		// at, or every session fails closed with an epoch mismatch.
+		dev.SetEpoch(st.Epoch())
+		fmt.Printf("crp store: %s — epoch %d, %d of %d seeds remaining, %d WAL record(s) replayed\n",
+			*storeDir, st.Epoch(), st.Remaining(), st.Len(), st.WALRecords())
+		if st.Retired() {
+			fmt.Printf("crp store: epoch %d RETIRED, awaiting re-enrollment at epoch %d (run -reenroll)\n",
+				st.Epoch(), st.AwaitingEpoch())
+		}
 	}
 
 	port, err := mcu.NewDevicePort(dev)
@@ -162,6 +179,7 @@ func main() {
 	newVerifier := func() *attest.Verifier {
 		v, err := attest.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
 		check(err)
+		v.PUFEpoch = dev.Epoch()
 		if budget != nil {
 			v.WithSeedBudget(budget)
 		}
@@ -241,10 +259,11 @@ func report(i, attempts int, res attest.Result) {
 
 // storeAdmin handles the one-shot store maintenance modes: -enroll writes
 // a fresh durable enrollment, -compact folds the claim WAL into the
-// snapshot. Both exit without running sessions.
-func storeAdmin(dir string, enroll int, compact bool, dev *core.Device) error {
+// snapshot, -reenroll cuts the store over to the next reconfiguration
+// epoch. All exit without running sessions.
+func storeAdmin(dir string, enroll int, compact bool, reenroll int, dev *core.Device) error {
 	if dir == "" {
-		return fmt.Errorf("-enroll and -compact require -store-dir")
+		return fmt.Errorf("-enroll, -compact and -reenroll require -store-dir")
 	}
 	if enroll > 0 {
 		seeds := make([]uint64, enroll)
@@ -264,6 +283,24 @@ func storeAdmin(dir string, enroll int, compact bool, dev *core.Device) error {
 		return err
 	}
 	defer st.Close()
+	if reenroll > 0 {
+		old := st.Epoch()
+		next := old + 1
+		if aw := st.AwaitingEpoch(); aw > next {
+			next = aw
+		}
+		dev.SetEpoch(next)
+		seeds := make([]uint64, reenroll)
+		for i := range seeds {
+			seeds[i] = uint64(next)<<32 | uint64(i+1)
+		}
+		if err := st.Reenroll(dev, seeds, 0); err != nil {
+			return err
+		}
+		fmt.Printf("re-enrolled %s: epoch %d -> %d, %d fresh seeds (old epoch retired)\n",
+			dir, old, next, reenroll)
+		return nil
+	}
 	before := st.WALRecords()
 	if err := st.Compact(); err != nil {
 		return err

@@ -59,12 +59,13 @@ func AdminMux(t *Telemetry) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		// A suspect device is a security signal: fail the health check so
 		// orchestration-level alerting fires without parsing the body.
-		// Degraded is availability trouble — reported, but still 200.
+		// Degraded is availability trouble and awaiting-reenroll a planned
+		// lifecycle state — both reported, both still 200.
 		if sum.Status() == telemetry.StatusSuspect {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintf(w, `{"status": %q, "devices": %d, "ok": %d, "degraded": %d, "suspect": %d}`+"\n",
-			sum.Status().String(), sum.Devices, sum.OK, sum.Degraded, sum.Suspect)
+		fmt.Fprintf(w, `{"status": %q, "devices": %d, "ok": %d, "degraded": %d, "awaiting_reenroll": %d, "suspect": %d}`+"\n",
+			sum.Status().String(), sum.Devices, sum.OK, sum.Degraded, sum.AwaitingReenroll, sum.Suspect)
 	})
 	// pprof registers on http.DefaultServeMux via init; re-register its
 	// handlers explicitly so the admin endpoint works on a private mux

@@ -26,10 +26,18 @@ import (
 )
 
 // Challenge is the verifier's message to the prover.
+//
+// Epoch is the device reconfiguration epoch the verifier claimed the PUF
+// seed under (PR 6). Epoch 0 — the manufacturing configuration — encodes
+// as the original 16-byte challenge body, so epoch-unaware peers keep
+// interoperating; a nonzero epoch travels as a trailing extension word,
+// and a prover whose device sits at a different epoch fails the session
+// closed as a rejection (never as transport).
 type Challenge struct {
 	Session uint64
 	Nonce   uint32 // r0: the attestation challenge
 	PUFSeed uint32 // x0: the initial PUF challenge perturbation
+	Epoch   uint32 // device reconfiguration epoch the seed belongs to
 }
 
 // EffectiveNonce combines r0 and x0 into the checksum's working nonce; both
@@ -42,6 +50,10 @@ type Response struct {
 	Session uint64
 	Tag     [8]uint32
 	Helpers []uint64 // 8 per chunk, 26 significant bits each
+	// Epoch echoes the prover device's reconfiguration epoch, letting the
+	// verifier distinguish "wrong device" from "right device, stale
+	// enrollment". Like Challenge.Epoch it is wire-elided when zero.
+	Epoch uint32
 }
 
 // NewChallenge draws a fresh random challenge using crypto/rand (protocol
@@ -67,9 +79,22 @@ const (
 )
 
 // Bits returns the response's wire size in bits (tag + packed helpers +
-// framing).
+// framing, plus the epoch extension word when present).
 func (r Response) Bits() int {
-	return (8+32)*8 + len(r.Helpers)*HelperBitsPerWord + 32
+	bits := (8+32)*8 + len(r.Helpers)*HelperBitsPerWord + 32
+	if r.Epoch != 0 {
+		bits += 32
+	}
+	return bits
+}
+
+// Bits returns the challenge's wire size in bits, including the epoch
+// extension word when present.
+func (c Challenge) Bits() int {
+	if c.Epoch != 0 {
+		return ChallengeBits + 32
+	}
+	return ChallengeBits
 }
 
 // --- binary codec (validated frames over an io stream) ---
@@ -310,10 +335,17 @@ func WriteChallenge(w io.Writer, c Challenge) error {
 // trace. An invalid context (or disabled wire tracing) falls back to a
 // plain v1 frame.
 func WriteChallengeTraced(w io.Writer, c Challenge, tc telemetry.TraceContext) error {
-	body := make([]byte, 16)
+	size := 16
+	if c.Epoch != 0 {
+		size = 20
+	}
+	body := make([]byte, size)
 	binary.LittleEndian.PutUint64(body[0:], c.Session)
 	binary.LittleEndian.PutUint32(body[8:], c.Nonce)
 	binary.LittleEndian.PutUint32(body[12:], c.PUFSeed)
+	if c.Epoch != 0 {
+		binary.LittleEndian.PutUint32(body[16:], c.Epoch)
+	}
 	return writeFrameCtx(w, frameChallenge, body, tc)
 }
 
@@ -332,19 +364,30 @@ func ReadChallengeTraced(r io.Reader) (Challenge, telemetry.TraceContext, error)
 	if err != nil {
 		return Challenge{}, tc, err
 	}
-	if len(body) != 16 {
+	if len(body) != 16 && len(body) != 20 {
 		return Challenge{}, tc, fmt.Errorf("attest: challenge frame of %d bytes", len(body))
 	}
-	return Challenge{
+	ch := Challenge{
 		Session: binary.LittleEndian.Uint64(body[0:]),
 		Nonce:   binary.LittleEndian.Uint32(body[8:]),
 		PUFSeed: binary.LittleEndian.Uint32(body[12:]),
-	}, tc, nil
+	}
+	if len(body) == 20 {
+		ch.Epoch = binary.LittleEndian.Uint32(body[16:])
+	}
+	return ch, tc, nil
 }
 
-// WriteResponse encodes a response frame.
+// WriteResponse encodes a response frame. A nonzero epoch travels as a
+// trailing uint32 extension word; the two body lengths (44+8n vs 48+8n)
+// are never congruent mod 8, so the decoder distinguishes them without a
+// flag byte, and epoch-0 traffic is byte-identical to the pre-epoch wire.
 func WriteResponse(w io.Writer, resp Response) error {
-	body := make([]byte, 8+32+4+8*len(resp.Helpers))
+	size := 8 + 32 + 4 + 8*len(resp.Helpers)
+	if resp.Epoch != 0 {
+		size += 4
+	}
+	body := make([]byte, size)
 	binary.LittleEndian.PutUint64(body[0:], resp.Session)
 	for i, c := range resp.Tag {
 		binary.LittleEndian.PutUint32(body[8+4*i:], c)
@@ -352,6 +395,9 @@ func WriteResponse(w io.Writer, resp Response) error {
 	binary.LittleEndian.PutUint32(body[40:], uint32(len(resp.Helpers)))
 	for i, h := range resp.Helpers {
 		binary.LittleEndian.PutUint64(body[44+8*i:], h)
+	}
+	if resp.Epoch != 0 {
+		binary.LittleEndian.PutUint32(body[44+8*len(resp.Helpers):], resp.Epoch)
 	}
 	return writeFrame(w, frameResponse, body)
 }
@@ -371,7 +417,12 @@ func ReadResponse(r io.Reader) (Response, error) {
 		resp.Tag[i] = binary.LittleEndian.Uint32(body[8+4*i:])
 	}
 	n := int(binary.LittleEndian.Uint32(body[40:]))
-	if n < 0 || len(body) != 44+8*n {
+	switch {
+	case n >= 0 && len(body) == 44+8*n:
+		// pre-epoch body: epoch 0 implied
+	case n >= 0 && len(body) == 48+8*n:
+		resp.Epoch = binary.LittleEndian.Uint32(body[44+8*n:])
+	default:
 		return Response{}, fmt.Errorf("attest: response frame with %d helpers but %d bytes", n, len(body))
 	}
 	resp.Helpers = make([]uint64, n)

@@ -137,10 +137,14 @@ func TestFleetSweepSharedBudgetRace(t *testing.T) {
 	}
 
 	// Third sweep: every node fails terminally (exhausted), none retried
-	// as transport, and the parallel claims stay consistent.
+	// as transport, and the parallel claims stay consistent. Exhaustion is
+	// its own lifecycle regime — awaiting re-enrollment, not unreachable.
 	report = fleet.Sweep(DefaultLink())
-	if len(report.Unreachable) != nodes {
+	if len(report.Exhausted) != nodes {
 		t.Fatalf("exhausted sweep: %s", report)
+	}
+	if len(report.Unreachable) != 0 {
+		t.Fatalf("exhausted nodes misclassified as unreachable: %s", report)
 	}
 	for _, r := range report.Results {
 		if !errors.Is(r.Err, crp.ErrExhausted) {

@@ -153,10 +153,17 @@ func (r NodeResult) Healthy() bool { return r.Err == nil && r.Result.Accepted }
 // verdict that the node failed attestation.
 func (r NodeResult) Compromised() bool { return r.Err == nil && !r.Result.Accepted }
 
-// Unreachable reports that no session completed: the transport budget was
-// exhausted (or the node sat in quarantine), so the verifier learned
-// nothing about the node's integrity this sweep.
-func (r NodeResult) Unreachable() bool { return r.Err != nil }
+// Exhausted reports a seed-budget exhaustion: the node's enrolled
+// authentication lifetime is spent (or its epoch was retired) and it
+// awaits re-enrollment. A lifecycle state — neither a security verdict
+// nor a transport fault — so it gets its own regime.
+func (r NodeResult) Exhausted() bool { return r.Err != nil && IsExhausted(r.Err) }
+
+// Unreachable reports that no session completed for transport-shaped
+// reasons: the transport budget was exhausted (or the node sat in
+// quarantine), so the verifier learned nothing about the node's integrity
+// this sweep. Budget exhaustion is NOT unreachable — see Exhausted.
+func (r NodeResult) Unreachable() bool { return r.Err != nil && !IsExhausted(r.Err) }
 
 // SweepOptions tunes a fleet sweep.
 type SweepOptions struct {
@@ -221,16 +228,20 @@ type SweepStats struct {
 }
 
 // SweepReport is the outcome of one fleet sweep, with node ids classified
-// by regime (each list ascending; Healthy ∪ Compromised ∪ Unreachable ∪
-// Quarantined covers every enrolled node exactly once — quarantined nodes
-// that were probed are classified by their probe outcome instead, and
-// nodes abandoned by a cancelled sweep count as Unreachable).
+// by regime (each list ascending; Healthy ∪ Compromised ∪ Exhausted ∪
+// Unreachable ∪ Quarantined covers every enrolled node exactly once —
+// quarantined nodes that were probed are classified by their probe
+// outcome instead, and nodes abandoned by a cancelled sweep count as
+// Unreachable).
 type SweepReport struct {
 	Results []NodeResult // ascending node id
 	// Healthy nodes attested and were accepted.
 	Healthy []int
 	// Compromised nodes completed a session and were rejected.
 	Compromised []int
+	// Exhausted nodes could not open a session because their seed budget
+	// is spent: awaiting re-enrollment, not compromised, not unreachable.
+	Exhausted []int
 	// Unreachable nodes exhausted their transport budget.
 	Unreachable []int
 	// Quarantined nodes were skipped (circuit breaker open, not probed or
@@ -242,8 +253,8 @@ type SweepReport struct {
 
 // String summarises the report.
 func (r SweepReport) String() string {
-	return fmt.Sprintf("sweep: %d nodes, %d healthy, %d compromised, %d unreachable, %d quarantined",
-		len(r.Results), len(r.Healthy), len(r.Compromised), len(r.Unreachable), len(r.Quarantined))
+	return fmt.Sprintf("sweep: %d nodes, %d healthy, %d compromised, %d exhausted, %d unreachable, %d quarantined",
+		len(r.Results), len(r.Healthy), len(r.Compromised), len(r.Exhausted), len(r.Unreachable), len(r.Quarantined))
 }
 
 // Sweep attests every enrolled node with the default sweep options. It is
@@ -361,6 +372,9 @@ func (f *Fleet) SweepWithOptions(ctx context.Context, link Link, opts SweepOptio
 		case errors.Is(r.Err, ErrQuarantined):
 			report.Quarantined = append(report.Quarantined, r.NodeID)
 			T.SweepNodes.With(outcomeQuarantined).Inc()
+		case r.Exhausted():
+			report.Exhausted = append(report.Exhausted, r.NodeID)
+			T.SweepNodes.With(outcomeExhausted).Inc()
 		default:
 			report.Unreachable = append(report.Unreachable, r.NodeID)
 			T.SweepNodes.With(outcomeUnreachable).Inc()

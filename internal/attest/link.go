@@ -69,11 +69,27 @@ func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attemp
 		sp.SetAttr("device", device)
 	}
 
+	// A gated session holds the epoch gate (shared) from seed claim to
+	// verdict: an epoch cutover (exclusive) waits for in-flight sessions
+	// and blocks new ones, so no session ever spans a reconfiguration.
+	if v.Gate != nil {
+		v.Gate.enterSession()
+		defer v.Gate.leaveSession()
+	}
+
 	spc := sp.Child("challenge")
 	ch, err := v.NewSession()
 	spc.Finish()
 	if err != nil {
 		sp.SetAttr("error", err.Error())
+		if IsExhausted(err) {
+			// The budget ran dry (or its epoch was retired) before a new
+			// enrollment is live: a lifecycle condition, not a fault. Flag
+			// the device awaiting-reenroll and journal it for the flight
+			// recorder; the caller sees the typed ExhaustedError.
+			t.Health.ObserveBudgetExhausted(device)
+			t.journal(telemetry.EventEpoch, trace, 0, device, "seed budget exhausted; awaiting re-enrollment")
+		}
 		return Result{}, trace, err
 	}
 	sp.SetAttr("session", strconv.FormatUint(ch.Session, 10))
@@ -100,7 +116,7 @@ func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attemp
 		fmt.Sprintf("helpers=%d compute=%.4gs", len(resp.Helpers), compute))
 
 	spv := sp.Child("verify")
-	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
+	elapsed := link.TransferSeconds(ch.Bits()) + compute + link.TransferSeconds(resp.Bits())
 	res := v.Verify(ch, resp, elapsed)
 	spv.Finish()
 
@@ -108,7 +124,7 @@ func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attemp
 	// the session start, so /debug/traces shows where the round trip went
 	// even though no local clock observed these phases.
 	base := sp.Start()
-	d1 := secondsToDuration(link.TransferSeconds(ChallengeBits))
+	d1 := secondsToDuration(link.TransferSeconds(ch.Bits()))
 	d2 := secondsToDuration(compute)
 	sp.Segment("link.challenge", base, d1)
 	sp.Segment("compute", base.Add(d1), d2)

@@ -66,5 +66,9 @@ func (p *Prover) Respond(ch Challenge) (Response, float64, error) {
 		Session: ch.Session,
 		Tag:     p.Image.Layout.ReadResult(p.Image.Mem),
 		Helpers: p.Port.DrainHelpers(),
+		// Echo the device's reconfiguration epoch: the honest prover always
+		// reports what silicon it actually ran, and the verifier rejects the
+		// session if its enrollment belongs to a different epoch.
+		Epoch: p.Port.Device().Epoch(),
 	}, cpu.TimeSeconds(), nil
 }

@@ -1,0 +1,226 @@
+package attest
+
+import (
+	"fmt"
+	"sync"
+
+	"pufatt/internal/core"
+	"pufatt/internal/crp/store"
+	"pufatt/internal/telemetry"
+)
+
+// Rolling re-enrollment (PR 6): the device-lifetime answer to the paper's
+// CRP-database drawback. A database-verified device dies when its enrolled
+// seeds run out — unless the PUF is reconfigured (Spenke et al.'s
+// remotely-reconfigurable arbiter idea, modelled in core/epoch.go) and a
+// fresh epoch is enrolled BEFORE the old budget empties. The Reenroller is
+// that pipeline: a low-budget watermark triggers a background measurement
+// of the next epoch on the enrollment twin, live attestation keeps
+// draining the old budget meanwhile, and the cutover — store commit plus
+// prover reconfiguration — happens atomically behind an EpochGate so no
+// in-flight session straddles two epochs.
+
+// EpochGate serialises live attestation sessions against epoch cutovers.
+// Sessions hold it shared for their whole claim→verdict span (Verifier.
+// Gate); a cutover holds it exclusive. The gate is what turns "re-enroll
+// under live traffic" from a race into a barrier: every session completes
+// entirely in the epoch it claimed its seed under.
+type EpochGate struct {
+	mu sync.RWMutex
+}
+
+func (g *EpochGate) enterSession() { g.mu.RLock() }
+func (g *EpochGate) leaveSession() { g.mu.RUnlock() }
+
+// Cutover runs fn while the gate is held exclusively: in-flight sessions
+// finish first, new sessions wait, and fn's store commit + device
+// reconfiguration appear atomic to all of them.
+func (g *EpochGate) Cutover(fn func() error) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return fn()
+}
+
+// Reenroller drives rolling re-enrollment for one device's durable store.
+type Reenroller struct {
+	// Store is the device's durable CRP store (the verifier's budget).
+	Store *store.Store
+	// Device is the ENROLLMENT TWIN: the facility-side instance of the
+	// device's manufacturing seed that is reconfigured to the next epoch
+	// and measured in the background. It must not be the live prover's
+	// device — that one keeps answering old-epoch sessions until the
+	// cutover, when OnCutover reconfigures it.
+	Device *core.Device
+	// DeviceName labels journal events and health observations (the
+	// verifier's Device string).
+	DeviceName string
+	// Watermark is the low-budget trigger: Check starts a re-enrollment
+	// once Remaining() <= Watermark (or the store is retired).
+	Watermark int
+	// SeedsPerEpoch is the size of each fresh enrollment (must be > 0).
+	SeedsPerEpoch int
+	// NewSeeds supplies the seed set for an epoch (nil = a deterministic
+	// default: seed i of epoch e is e<<32|i; fine because every epoch is
+	// an independent enrollment with its own reference space).
+	NewSeeds func(epoch uint32, n int) []uint64
+	// Workers bounds the measurement parallelism (<=0 = GOMAXPROCS).
+	Workers int
+	// Gate, when non-nil, is the cutover barrier shared with the live
+	// verifier (Verifier.Gate). Nil means no serialisation: safe only when
+	// no session is in flight during Commit.
+	Gate *EpochGate
+	// OnCutover runs inside the gate's exclusive section after the store
+	// commit: reconfigure the live prover's device to the new epoch here
+	// (and anything else that must flip atomically with the budget).
+	OnCutover func(oldEpoch, newEpoch uint32)
+	// Telemetry receives pipeline events (nil = package default).
+	Telemetry *Telemetry
+
+	mu      sync.Mutex
+	running bool
+	done    chan struct{}
+	err     error
+}
+
+func (r *Reenroller) telemetry() *Telemetry {
+	if r.Telemetry != nil {
+		return r.Telemetry
+	}
+	return tel
+}
+
+func (r *Reenroller) seeds(epoch uint32) []uint64 {
+	if r.NewSeeds != nil {
+		return r.NewSeeds(epoch, r.SeedsPerEpoch)
+	}
+	out := make([]uint64, r.SeedsPerEpoch)
+	for i := range out {
+		out[i] = uint64(epoch)<<32 | uint64(i)
+	}
+	return out
+}
+
+// Check inspects the budget and starts a background re-enrollment when it
+// has sunk to the watermark (or the store is retired). It returns true
+// when a run was started; at most one run is in flight at a time. Call it
+// from the sweep loop — it is cheap when the budget is healthy.
+func (r *Reenroller) Check() bool {
+	if !r.Store.Retired() && r.Store.Remaining() > r.Watermark {
+		return false
+	}
+	r.mu.Lock()
+	if r.running {
+		r.mu.Unlock()
+		return false
+	}
+	r.running = true
+	done := make(chan struct{})
+	r.done = done
+	r.mu.Unlock()
+
+	t := r.telemetry()
+	t.Reenrolls.With("triggered").Inc()
+	t.journal(telemetry.EventEpoch, 0, 0, r.DeviceName,
+		fmt.Sprintf("re-enrollment triggered: remaining=%d watermark=%d", r.Store.Remaining(), r.Watermark))
+	go func() {
+		err := r.run()
+		r.mu.Lock()
+		r.err = err
+		r.running = false
+		r.mu.Unlock()
+		close(done)
+	}()
+	return true
+}
+
+// Wait blocks until the in-flight background run (if any) finishes and
+// returns its error.
+func (r *Reenroller) Wait() error {
+	r.mu.Lock()
+	done := r.done
+	r.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Run performs one full re-enrollment cycle synchronously: reconfigure
+// the twin to the next epoch, measure and stage the fresh enrollment
+// (old-epoch attestation continues meanwhile), then cut over inside the
+// gate. Returns the error of whichever phase failed.
+func (r *Reenroller) Run() error {
+	r.mu.Lock()
+	if r.running {
+		done := r.done
+		r.mu.Unlock()
+		<-done
+		return r.Wait()
+	}
+	r.running = true
+	r.mu.Unlock()
+	err := r.run()
+	r.mu.Lock()
+	r.err = err
+	r.running = false
+	r.mu.Unlock()
+	return err
+}
+
+func (r *Reenroller) run() error {
+	t := r.telemetry()
+	st := r.Store
+	old := st.Epoch()
+	next := old + 1
+	// A retired store awaits a specific epoch (its lost cutover's target);
+	// never enroll below it.
+	if aw := st.AwaitingEpoch(); aw > next {
+		next = aw
+	}
+
+	// Phase 1 — measure the next epoch on the twin and stage it durably.
+	// The live budget keeps draining: nothing here touches the old epoch.
+	r.Device.SetEpoch(next)
+	staged, err := st.StageEpoch(r.Device, r.seeds(next), r.Workers)
+	if err != nil {
+		t.Reenrolls.With("failed").Inc()
+		t.journal(telemetry.EventEpoch, 0, 0, r.DeviceName,
+			fmt.Sprintf("re-enrollment staging failed: epoch=%d err=%v", next, err))
+		return fmt.Errorf("attest: staging epoch %d: %w", next, err)
+	}
+	t.Reenrolls.With("staged").Inc()
+	t.journal(telemetry.EventEpoch, 0, 0, r.DeviceName,
+		fmt.Sprintf("epoch %d staged: %d seeds measured", next, staged.Len()))
+
+	// Phase 2 — cut over behind the gate: commit the store (the durable
+	// transition retires the old epoch) and reconfigure the live prover in
+	// the same exclusive section. Sessions in flight finish on the old
+	// epoch first; sessions after the gate claim from the new one.
+	commit := func() error {
+		if err := staged.Commit(); err != nil {
+			return err
+		}
+		if r.OnCutover != nil {
+			r.OnCutover(old, next)
+		}
+		return nil
+	}
+	if r.Gate != nil {
+		err = r.Gate.Cutover(commit)
+	} else {
+		err = commit()
+	}
+	if err != nil {
+		_ = staged.Discard()
+		t.Reenrolls.With("failed").Inc()
+		t.journal(telemetry.EventEpoch, 0, 0, r.DeviceName,
+			fmt.Sprintf("epoch cutover failed: %d->%d err=%v", old, next, err))
+		return fmt.Errorf("attest: epoch cutover %d->%d: %w", old, next, err)
+	}
+	t.Reenrolls.With("committed").Inc()
+	t.journal(telemetry.EventEpoch, 0, 0, r.DeviceName,
+		fmt.Sprintf("epoch cutover committed: %d->%d, budget=%d", old, next, st.Remaining()))
+	return nil
+}

@@ -60,6 +60,11 @@ type Telemetry struct {
 	// Fault injection.
 	FaultsInjected *telemetry.CounterVec // attest_faults_injected_total{class}
 
+	// Epoch lifecycle (PR 6): re-enrollment pipeline phases and the
+	// seed-budget watermark gauge the health registry maintains.
+	Reenrolls        *telemetry.CounterVec // attest_reenrollments_total{phase}
+	BudgetLowDevices *telemetry.Gauge      // attest_seed_budget_low_devices
+
 	// Observability self-accounting: data the tracer ring and the journal
 	// ring overwrote to stay bounded. Silent truncation would read as
 	// "nothing happened"; these counters make it a measurable signal.
@@ -126,6 +131,11 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 		FaultsInjected: reg.CounterVec("attest_faults_injected_total",
 			"Faults injected by the deterministic harness, by class.", "class"),
 
+		Reenrolls: reg.CounterVec("attest_reenrollments_total",
+			"Rolling re-enrollment pipeline events, by phase (triggered, staged, committed, failed).", "phase"),
+		BudgetLowDevices: reg.Gauge("attest_seed_budget_low_devices",
+			"Devices currently at or below the seed-budget watermark (or exhausted)."),
+
 		SpansDropped: reg.Counter("telemetry_spans_dropped_total",
 			"Finished root spans evicted from the tracer ring to stay bounded."),
 		EventsDropped: reg.Counter("telemetry_journal_events_dropped_total",
@@ -142,6 +152,7 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 	t.Health.OnTransition(func(device string, tr telemetry.Transition) {
 		t.StatusTransitions.With(tr.To.String()).Inc()
 	})
+	t.Health.SetBudgetLowGauge(t.BudgetLowDevices)
 	return t
 }
 
@@ -167,6 +178,10 @@ const (
 	outcomeCompromised = "compromised"
 	outcomeUnreachable = "unreachable"
 	outcomeQuarantined = "quarantined"
+	// outcomeExhausted is the lifecycle bucket: the node's seed budget is
+	// empty (or its epoch retired) and it awaits re-enrollment — neither a
+	// security verdict nor an availability fault.
+	outcomeExhausted = "exhausted-awaiting-reenroll"
 )
 
 // rejectionClass maps a verifier rejection reason string onto a bounded
@@ -183,6 +198,8 @@ func rejectionClass(reason string) string {
 		return "helper_length"
 	case strings.HasPrefix(reason, "reference"):
 		return "reference_checksum"
+	case strings.HasPrefix(reason, "epoch mismatch"):
+		return "epoch_mismatch"
 	}
 	return "other"
 }

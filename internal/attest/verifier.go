@@ -48,6 +48,21 @@ type Verifier struct {
 	// challenge (see budget.go). Nil means emulation-model verification
 	// with no budget.
 	Seeds SeedBudget
+	// PUFEpoch is the device reconfiguration epoch this verifier's
+	// reference source was enrolled at, for budgets that cannot report it
+	// themselves (and for budgetless emulation verification of a
+	// reconfigured device). Epoch-aware budgets override it per session.
+	PUFEpoch uint32
+	// Gate, when non-nil, serialises this verifier's sessions against
+	// epoch cutovers (see reenroll.go): a session holds the gate in read
+	// mode from seed claim to verdict, and a cutover takes it in write
+	// mode, so no session ever spans a reconfiguration.
+	Gate *EpochGate
+	// Nonces, when non-nil, supplies the challenge nonce r0 in place of
+	// crypto/rand. Production verifiers leave it nil; test and audit
+	// harnesses install a seeded stream so session outcomes are exactly
+	// reproducible.
+	Nonces func() uint32
 
 	sessions uint64
 }
@@ -104,6 +119,12 @@ func (v *Verifier) NewSession() (Challenge, error) {
 	if err != nil {
 		return Challenge{}, err
 	}
+	if v.Nonces != nil {
+		// Both random words of the challenge come from the stream; a
+		// bound seed budget overrides x0 with the claimed seed below.
+		ch.Nonce = v.Nonces()
+		ch.PUFSeed = v.Nonces()
+	}
 	if err := v.claimSeed(&ch); err != nil {
 		return Challenge{}, err
 	}
@@ -124,6 +145,14 @@ func (v *Verifier) verify(ch Challenge, resp Response, elapsed float64) Result {
 	res := Result{Elapsed: elapsed, Delta: v.Delta()}
 	if resp.Session != ch.Session {
 		res.Reason = "session mismatch"
+		return res
+	}
+	if resp.Epoch != ch.Epoch {
+		// Prover and verifier disagree on the device's reconfiguration
+		// epoch (a cutover one side has not seen). The response cannot
+		// verify against this enrollment, so fail closed as a rejection —
+		// the transport is fine, retrying would only burn budget.
+		res.Reason = fmt.Sprintf("epoch mismatch: prover at epoch %d, verifier enrolled at %d", resp.Epoch, ch.Epoch)
 		return res
 	}
 	if elapsed > res.Delta {

@@ -132,14 +132,21 @@ func (dev *Device) reloadTables() {
 	dev.SetConditions(dev.cond)
 }
 
-// effectiveVth returns process variation plus accumulated aging.
+// effectiveVth returns process variation plus accumulated aging plus the
+// current epoch's reconfiguration overlay (epoch.go).
 func (dev *Device) effectiveVth() []float64 {
-	if dev.agingVth == nil {
+	if dev.agingVth == nil && dev.epochVth == nil {
 		return dev.dVth
 	}
 	out := make([]float64, len(dev.dVth))
 	for i := range out {
-		out[i] = dev.dVth[i] + dev.agingVth[i]
+		out[i] = dev.dVth[i]
+		if dev.agingVth != nil {
+			out[i] += dev.agingVth[i]
+		}
+		if dev.epochVth != nil {
+			out[i] += dev.epochVth[i]
+		}
 	}
 	return out
 }

@@ -35,6 +35,11 @@ type Device struct {
 	agingVth []float64
 	agingSrc *rng.Source
 	cones    map[int][]int
+	// epoch is the reconfiguration epoch (see epoch.go); epochVth is its
+	// per-gate Vth overlay (nil at epoch 0), drawn from epochRoot.
+	epoch     uint32
+	epochVth  []float64
+	epochRoot *rng.Source
 	// batch is the lazily created parallel evaluator (see batch.go);
 	// batchEpochs counts batch invocations so each batch draws fresh,
 	// worker-count-independent per-challenge noise streams.
@@ -52,13 +57,17 @@ func NewDevice(d *Design, master *rng.Source, chipID int) (*Device, error) {
 		return nil, err
 	}
 	dev := &Device{
-		design:  d,
-		chip:    chip,
-		dVth:    chip.VthOffsets(d.datapath.Net, 0, 0),
-		tables:  make(map[delay.Conditions]delay.Table),
-		noise:   master.SubN("device/noise", chipID),
-		inBuf:   make([]uint8, 2*d.cfg.Width),
-		respBuf: make([]uint8, d.ResponseBits()),
+		design: d,
+		chip:   chip,
+		dVth:   chip.VthOffsets(d.datapath.Net, 0, 0),
+		tables: make(map[delay.Conditions]delay.Table),
+		noise:  master.SubN("device/noise", chipID),
+		// The epoch root is bound to the manufacturing seed, never the
+		// mutable noise stream, so epoch overlays are a pure function of
+		// (master seed, chipID, epoch) — reproducible for audit.
+		epochRoot: master.SubN("device/epoch", chipID),
+		inBuf:     make([]uint8, 2*d.cfg.Width),
+		respBuf:   make([]uint8, d.ResponseBits()),
 	}
 	dev.SetConditions(delay.Nominal())
 	return dev, nil

@@ -42,6 +42,7 @@ type entry struct {
 type Database struct {
 	bits   int
 	chipID int
+	epoch  uint32 // the device reconfiguration epoch the references were measured at
 
 	mu      sync.Mutex
 	order   []uint64 // enrollment order, for NextUnused
@@ -58,6 +59,7 @@ func Enroll(dev *core.Device, seeds []uint64) (*Database, error) {
 	db := &Database{
 		bits:    dev.Design().ResponseBits(),
 		chipID:  dev.ChipID(),
+		epoch:   dev.Epoch(),
 		entries: make(map[uint64]*entry, len(seeds)),
 	}
 	for _, seed := range seeds {
@@ -79,6 +81,19 @@ func Enroll(dev *core.Device, seeds []uint64) (*Database, error) {
 
 // ChipID returns the chip this database was enrolled for.
 func (db *Database) ChipID() int { return db.chipID }
+
+// Epoch returns the device reconfiguration epoch the database was enrolled
+// at. Every reference in a Database belongs to one epoch; re-enrollment
+// under a new epoch builds a new Database.
+func (db *Database) Epoch() uint32 { return db.epoch }
+
+// NextUnusedWithEpoch claims the next unused seed and reports the epoch it
+// belongs to, atomically — the pair an epoch-negotiating verifier binds
+// into one challenge.
+func (db *Database) NextUnusedWithEpoch() (uint64, uint32, error) {
+	seed, err := db.NextUnused()
+	return seed, db.epoch, err
+}
 
 // ResponseBits implements core.ReferenceSource.
 func (db *Database) ResponseBits() int { return db.bits }

@@ -245,6 +245,29 @@ func (h *Handle) NextUnused() (uint64, error) {
 	return seed, err
 }
 
+// NextUnusedWithEpoch durably claims the next unused seed and reports its
+// epoch, atomically with respect to a concurrent cutover.
+func (h *Handle) NextUnusedWithEpoch() (uint64, uint32, error) {
+	var seed uint64
+	var epoch uint32
+	err := h.withStore(func(st *Store) error {
+		var err error
+		seed, epoch, err = st.NextUnusedWithEpoch()
+		return err
+	})
+	return seed, epoch, err
+}
+
+// Epoch returns the device's live enrollment epoch.
+func (h *Handle) Epoch() uint32 {
+	var e uint32
+	_ = h.withStore(func(st *Store) error {
+		e = st.Epoch()
+		return nil
+	})
+	return e
+}
+
 // Remaining returns the device's remaining authentication budget.
 func (h *Handle) Remaining() int {
 	n := 0

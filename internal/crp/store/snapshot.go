@@ -25,7 +25,7 @@ import (
 //	offset 16  bits     uint32 LE  raw-response width
 //	offset 20  refsPer  uint32 LE  responses per seed (obfuscate fan-in, 8)
 //	offset 24  count    uint32 LE  enrolled seeds
-//	offset 28  reserved uint32 LE  (zero)
+//	offset 28  epoch    uint32 LE  device reconfiguration epoch (v1: reserved, 0)
 //	offset 32  seeds    count × uint64 LE, enrollment order
 //	...        used     ⌈count/8⌉ bytes, bit i = seed i claimed
 //	...        refs     count × refsPer × bits bytes, one byte per response
@@ -36,9 +36,13 @@ import (
 // rejected wholesale rather than serving subtly wrong references (which
 // would surface as unexplainable attestation rejections fleet-wide).
 
+// Version history: v1 reserved the header word at offset 28; v2 stores the
+// device reconfiguration epoch there. Writers always emit v2; readers
+// accept both (a v1 snapshot is an epoch-0 enrollment by definition).
 const (
 	snapMagic      = 0x43465550 // "PUFC"
-	snapVersion    = 1
+	snapVersionV1  = 1
+	snapVersion    = 2
 	snapHeaderSize = 32
 
 	// Dimension guards against hostile or garbage headers.
@@ -59,6 +63,7 @@ type snapshot struct {
 	chipID  int
 	bits    int
 	refsPer int
+	epoch   uint32 // device reconfiguration epoch of every reference here
 	seeds   []uint64
 	used    []bool
 	flat    []uint8 // len(seeds)*refsPer*bits reference bytes, flat
@@ -83,6 +88,7 @@ func (s *snapshot) writeTo(w io.Writer) error {
 	binary.LittleEndian.PutUint32(head[16:], uint32(s.bits))
 	binary.LittleEndian.PutUint32(head[20:], uint32(s.refsPer))
 	binary.LittleEndian.PutUint32(head[24:], uint32(len(s.seeds)))
+	binary.LittleEndian.PutUint32(head[28:], s.epoch)
 	if _, err := bw.Write(head); err != nil {
 		return err
 	}
@@ -126,13 +132,17 @@ func readSnapshot(r io.Reader) (*snapshot, error) {
 	if binary.LittleEndian.Uint32(head[0:]) != snapMagic {
 		return nil, ErrNotSnapshot
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != snapVersion {
-		return nil, fmt.Errorf("crpstore: unsupported snapshot version %d", v)
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != snapVersionV1 && version != snapVersion {
+		return nil, fmt.Errorf("crpstore: unsupported snapshot version %d", version)
 	}
 	s := &snapshot{
 		chipID:  int(int64(binary.LittleEndian.Uint64(head[8:]))),
 		bits:    int(binary.LittleEndian.Uint32(head[16:])),
 		refsPer: int(binary.LittleEndian.Uint32(head[20:])),
+	}
+	if version >= snapVersion {
+		s.epoch = binary.LittleEndian.Uint32(head[28:])
 	}
 	count := int(binary.LittleEndian.Uint32(head[24:]))
 	if s.bits < 1 || s.bits > maxSnapBits || s.refsPer < 1 || s.refsPer > maxSnapRefs ||

@@ -8,6 +8,28 @@
 // protection survives restarts and crashes. A sharded Registry
 // (registry.go) scales the scheme across a fleet of devices with lazy
 // snapshot loading and an LRU of hot stores.
+//
+// Since PR 6 the store is epoch-aware: an enrollment belongs to one device
+// reconfiguration epoch (core.Device.SetEpoch), and a store can be
+// re-enrolled under a fresh epoch without ever resurrecting a consumed
+// seed. The cutover protocol (StageEpoch / StagedEpoch.Commit) is
+// crash-safe with the same log-before-acknowledge discipline as claims:
+//
+//  1. the new epoch's references are measured and written to a staged
+//     snapshot file (crp.snap.next), durably, while the old epoch keeps
+//     serving claims;
+//  2. an epoch-transition record is appended to the WAL — the commit
+//     point: once durable, the old epoch is retired forever;
+//  3. the staged snapshot is renamed over crp.snap;
+//  4. the WAL is reset (the transition and all old-epoch claims are now
+//     implied by the snapshot's epoch).
+//
+// Open replays this protocol's every crash point: a staged snapshot with
+// no transition record is discarded (the cutover never committed); a
+// transition record whose target epoch is newer than the live snapshot
+// completes the rename if the staged file survived, and otherwise opens
+// the store RETIRED — all claims fail with ErrEpochRetired (never serving
+// an old-epoch seed) until a re-enrollment installs the awaited epoch.
 package store
 
 import (
@@ -26,11 +48,29 @@ import (
 const (
 	snapshotFile = "crp.snap"
 	walFile      = "crp.wal"
+	// stagingFile holds the next epoch's enrollment between StageEpoch and
+	// Commit. It is never read as the live snapshot; open-time recovery
+	// either installs it (transition committed) or discards it.
+	stagingFile = "crp.snap.next"
 )
 
 // ErrClosed reports an operation on a closed store (typically one the
 // registry evicted; re-fetch through Registry.Handle, which reopens).
 var ErrClosed = errors.New("crpstore: store closed")
+
+// ErrEpochRetired reports a claim or reference lookup against a store
+// whose epoch was retired by a committed cutover whose new enrollment was
+// lost (a crash between the transition record and the snapshot rename).
+// No old-epoch seed is ever re-claimable; the store recovers when a
+// re-enrollment installs the awaited epoch. It wraps crp.ErrExhausted:
+// to the attestation layer a retired store is an empty budget awaiting
+// re-enrollment, not a transport fault and not a verdict.
+var ErrEpochRetired = fmt.Errorf("crpstore: epoch retired, awaiting re-enrollment: %w", crp.ErrExhausted)
+
+// ErrEpochOrder reports a re-enrollment whose epoch does not advance the
+// store's: epochs are monotonic, and re-using one would alias two
+// different reference sets under the same (seed, epoch) coordinates.
+var ErrEpochOrder = errors.New("crpstore: re-enrollment epoch must advance the store's epoch")
 
 // Options tunes durability and compaction.
 type Options struct {
@@ -73,12 +113,19 @@ type Store struct {
 	cursor     int
 	wal        *wal
 	walRecords int
-	closed     bool
+	epoch      uint32
+	// retired marks a store whose epoch-transition record committed but
+	// whose new enrollment was lost; awaiting is the epoch a re-enrollment
+	// must install (or exceed) to recover it.
+	retired  bool
+	awaiting uint32
+	closed   bool
 }
 
-// Open loads the device store in dir: snapshot first, then WAL replay on
-// top of it. After Open returns, every claim acknowledged before the last
-// shutdown or crash is in force again.
+// Open loads the device store in dir: snapshot first, then epoch-cutover
+// recovery, then WAL replay. After Open returns, every claim and every
+// epoch transition acknowledged before the last shutdown or crash is in
+// force again — in particular, no seed of a retired epoch is claimable.
 func Open(dir string, opts Options) (*Store, error) {
 	snap, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
@@ -87,19 +134,71 @@ func Open(dir string, opts Options) (*Store, error) {
 	return openWith(dir, snap, opts)
 }
 
-// openWith wires a decoded snapshot to its WAL.
+// lastTransition returns the index of the last epoch-transition record
+// (-1 when the WAL holds none).
+func lastTransition(recs []walRecord) int {
+	last := -1
+	for i, r := range recs {
+		if r.transition {
+			last = i
+		}
+	}
+	return last
+}
+
+// openWith wires a decoded snapshot to its WAL, running the epoch-cutover
+// crash recovery described in the package comment.
 func openWith(dir string, snap *snapshot, opts Options) (*Store, error) {
-	w, claimed, err := openWAL(filepath.Join(dir, walFile), !opts.NoSync)
+	w, recs, err := openWAL(filepath.Join(dir, walFile), !opts.NoSync)
 	if err != nil {
 		return nil, err
 	}
+	staging := filepath.Join(dir, stagingFile)
+	retired := false
+	var awaiting uint32
+	last := lastTransition(recs)
+	switch {
+	case last >= 0 && recs[last].to > snap.epoch:
+		// The cutover committed (the transition record is durable) but the
+		// staged snapshot was never renamed into place. If it survived,
+		// finish the rename; if not, the old epoch is still retired — the
+		// store opens with every claim refused until re-enrollment.
+		staged, serr := readSnapshotFile(staging)
+		if serr == nil && staged.epoch == recs[last].to {
+			if err := os.Rename(staging, filepath.Join(dir, snapshotFile)); err != nil {
+				w.close()
+				return nil, fmt.Errorf("crpstore: completing epoch cutover: %w", err)
+			}
+			if !opts.NoSync {
+				syncDir(dir)
+			}
+			snap = staged
+			epochRecoveries.Inc()
+		} else {
+			retired = true
+			awaiting = recs[last].to
+			epochRetiredOpens.Inc()
+		}
+	default:
+		// No committed transition past the live snapshot. A staged file
+		// here is an uncommitted cutover: discard it, the old epoch stays
+		// live (and its claims stay in force).
+		if _, serr := os.Stat(staging); serr == nil {
+			_ = os.Remove(staging)
+			epochStagingsDiscarded.Inc()
+		}
+	}
+
 	st := &Store{
-		dir:   dir,
-		opts:  opts,
-		snap:  snap,
-		index: make(map[uint64]int, len(snap.seeds)),
-		used:  append([]bool(nil), snap.used...),
-		wal:   w,
+		dir:      dir,
+		opts:     opts,
+		snap:     snap,
+		index:    make(map[uint64]int, len(snap.seeds)),
+		used:     append([]bool(nil), snap.used...),
+		wal:      w,
+		epoch:    snap.epoch,
+		retired:  retired,
+		awaiting: awaiting,
 	}
 	for i, seed := range snap.seeds {
 		if _, dup := st.index[seed]; dup {
@@ -108,32 +207,58 @@ func openWith(dir string, snap *snapshot, opts Options) (*Store, error) {
 		}
 		st.index[seed] = i
 	}
-	for _, seed := range claimed {
-		i, ok := st.index[seed]
-		if !ok {
-			w.close()
-			return nil, fmt.Errorf("%w: WAL claims unenrolled seed %#x", ErrWALCorrupt, seed)
-		}
-		// A claim already marked in the snapshot is legal: a crash between
-		// compaction's snapshot rename and its WAL truncation leaves the
-		// record in both places, and replay is idempotent.
-		if !st.used[i] {
-			st.used[i] = true
-		}
-		st.walRecords++
+	// Claim replay. Claims logged before the last transition record belong
+	// to a retired epoch: they are skipped wholesale (their seeds may not
+	// even exist in the live snapshot, and that is not corruption). Claims
+	// after it apply iff the live snapshot is the transition's target —
+	// the state a crash between the cutover's rename and its WAL reset
+	// leaves behind.
+	start := 0
+	if last >= 0 {
+		start = last + 1
 	}
-	for _, u := range st.used {
-		if !u {
-			st.unused++
+	if !retired {
+		for _, rec := range recs[start:] {
+			if rec.transition {
+				continue
+			}
+			i, ok := st.index[rec.seed]
+			if !ok {
+				w.close()
+				return nil, fmt.Errorf("%w: WAL claims unenrolled seed %#x", ErrWALCorrupt, rec.seed)
+			}
+			// A claim already marked in the snapshot is legal: a crash between
+			// compaction's snapshot rename and its WAL truncation leaves the
+			// record in both places, and replay is idempotent.
+			if !st.used[i] {
+				st.used[i] = true
+			}
+		}
+	}
+	st.walRecords = len(recs)
+	if !retired {
+		for _, u := range st.used {
+			if !u {
+				st.unused++
+			}
 		}
 	}
 	openStores.Add(1)
 	return st, nil
 }
 
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
 // create installs a fresh enrollment snapshot in dir and opens it. It
 // refuses to overwrite an existing enrollment: re-enrolling a device with
-// claims outstanding would resurrect consumed seeds.
+// claims outstanding would resurrect consumed seeds (epoch cutovers go
+// through StageEpoch/Commit instead, which retire the old seeds first).
 func create(dir string, snap *snapshot, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -151,7 +276,8 @@ func create(dir string, snap *snapshot, opts Options) (*Store, error) {
 
 // Create installs an enrollment from externally measured reference data
 // (an FPGA collection run, an import from another verifier): refs holds
-// len(seeds)*RefsPerSeed rows in seed-major order, each bits wide.
+// len(seeds)*RefsPerSeed rows in seed-major order, each bits wide. The
+// enrollment is installed at epoch 0.
 func Create(dir string, chipID, bits int, seeds []uint64, refs [][]uint8, opts Options) (*Store, error) {
 	refsPer := obfuscate.ResponsesPerOutput
 	if len(seeds) == 0 {
@@ -185,13 +311,11 @@ func Create(dir string, chipID, bits int, seeds []uint64, refs [][]uint8, opts O
 	return create(dir, snap, opts)
 }
 
-// Enroll measures the device's noiseless reference responses for every
-// seed — fanning the len(seeds)×8 expanded challenges across the parallel
-// batch evaluator (workers ≤ 0 means GOMAXPROCS) — and installs them as a
-// durable enrollment in dir. The batch responses land directly in the
-// snapshot's flat matrix: enrollment of a large seed set is one
-// allocation and one parallel sweep.
-func Enroll(dir string, dev *core.Device, seeds []uint64, workers int, opts Options) (*Store, error) {
+// measureSnapshot measures the device's noiseless reference responses for
+// every seed — fanning the len(seeds)×8 expanded challenges across the
+// parallel batch evaluator (workers ≤ 0 means GOMAXPROCS) — into a fresh
+// snapshot stamped with the device's current epoch.
+func measureSnapshot(dev *core.Device, seeds []uint64, workers int) (*snapshot, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("crpstore: enrolling zero seeds")
 	}
@@ -217,6 +341,7 @@ func Enroll(dir string, dev *core.Device, seeds []uint64, workers int, opts Opti
 		chipID:  dev.ChipID(),
 		bits:    bits,
 		refsPer: refsPer,
+		epoch:   dev.Epoch(),
 		seeds:   append([]uint64(nil), seeds...),
 		used:    make([]bool, len(seeds)),
 		flat:    make([]uint8, rows*bits),
@@ -226,6 +351,19 @@ func Enroll(dir string, dev *core.Device, seeds []uint64, workers int, opts Opti
 		dst[k] = snap.flat[k*bits : (k+1)*bits : (k+1)*bits]
 	}
 	core.NewBatchEvaluator(dev).NoiselessResponses(challenges, dst, workers)
+	return snap, nil
+}
+
+// Enroll measures the device's noiseless reference responses for every
+// seed and installs them as a durable enrollment in dir, stamped with the
+// device's current epoch. The batch responses land directly in the
+// snapshot's flat matrix: enrollment of a large seed set is one
+// allocation and one parallel sweep.
+func Enroll(dir string, dev *core.Device, seeds []uint64, workers int, opts Options) (*Store, error) {
+	snap, err := measureSnapshot(dev, seeds, workers)
+	if err != nil {
+		return nil, err
+	}
 	return create(dir, snap, opts)
 }
 
@@ -241,6 +379,30 @@ func (st *Store) ResponseBits() int { return st.snap.bits }
 // Len returns the number of enrolled seeds.
 func (st *Store) Len() int { return len(st.snap.seeds) }
 
+// Epoch returns the device reconfiguration epoch of the live enrollment.
+func (st *Store) Epoch() uint32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
+}
+
+// Retired reports whether the store's epoch was retired with no live
+// successor (see ErrEpochRetired); AwaitingEpoch returns the epoch a
+// re-enrollment must reach to recover it (0 when not retired).
+func (st *Store) Retired() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.retired
+}
+
+// AwaitingEpoch returns the committed cutover target a retired store is
+// waiting on (0 when the store is live).
+func (st *Store) AwaitingEpoch() uint32 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.awaiting
+}
+
 // ReferenceResponse implements core.ReferenceSource. As with crp.Database,
 // the seed must have been claimed first, so a protocol bug cannot silently
 // bypass replay protection.
@@ -250,6 +412,11 @@ func (st *Store) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
 		st.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if st.retired {
+		st.mu.Unlock()
+		return nil, ErrEpochRetired
+	}
+	snap := st.snap
 	i, ok := st.index[seed]
 	used := ok && st.used[i]
 	st.mu.Unlock()
@@ -259,12 +426,12 @@ func (st *Store) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
 	if !used {
 		return nil, fmt.Errorf("crpstore: seed %#x not claimed before use", seed)
 	}
-	if j < 0 || j >= st.snap.refsPer {
+	if j < 0 || j >= snap.refsPer {
 		return nil, fmt.Errorf("crpstore: reference index %d out of range", j)
 	}
 	referenceLookups.Inc()
 	// Reference rows are immutable after enrollment: the view needs no lock.
-	return st.snap.ref(i, j), nil
+	return snap.ref(i, j), nil
 }
 
 // Claim durably marks a seed as consumed: the claim record is on disk (in
@@ -280,6 +447,10 @@ func (st *Store) Claim(seed uint64) error {
 func (st *Store) claimLocked(seed uint64) error {
 	if st.closed {
 		return ErrClosed
+	}
+	if st.retired {
+		claims.With("retired").Inc()
+		return ErrEpochRetired
 	}
 	i, ok := st.index[seed]
 	if !ok {
@@ -313,10 +484,23 @@ func (st *Store) claimLocked(seed uint64) error {
 // order. Seeds consumed by direct Claim calls are skipped without counting
 // replay telemetry.
 func (st *Store) NextUnused() (uint64, error) {
+	seed, _, err := st.NextUnusedWithEpoch()
+	return seed, err
+}
+
+// NextUnusedWithEpoch is NextUnused returning the claimed seed's epoch
+// under the same lock acquisition — the atomic (seed, epoch) pair an
+// epoch-negotiating verifier binds into one challenge, so a concurrent
+// cutover can never split a session across epochs.
+func (st *Store) NextUnusedWithEpoch() (uint64, uint32, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
+	}
+	if st.retired {
+		claims.With("retired").Inc()
+		return 0, st.epoch, ErrEpochRetired
 	}
 	for st.cursor < len(st.snap.seeds) {
 		seed := st.snap.seeds[st.cursor]
@@ -325,25 +509,28 @@ func (st *Store) NextUnused() (uint64, error) {
 			continue
 		}
 		if err := st.claimLocked(seed); err != nil {
-			return 0, err
+			return 0, st.epoch, err
 		}
 		st.cursor++
-		return seed, nil
+		return seed, st.epoch, nil
 	}
 	claims.With("exhausted").Inc()
-	return 0, crp.ErrExhausted
+	return 0, st.epoch, crp.ErrExhausted
 }
 
 // Remaining returns how many authentications the store still supports
-// (O(1): maintained by the claim paths).
+// (O(1): maintained by the claim paths; 0 for a retired store).
 func (st *Store) Remaining() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.retired {
+		return 0
+	}
 	return st.unused
 }
 
-// WALRecords returns the number of claim records currently in the WAL —
-// the replay work a reopen would do before the next compaction.
+// WALRecords returns the number of records currently in the WAL — the
+// replay work a reopen would do before the next compaction.
 func (st *Store) WALRecords() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -360,6 +547,12 @@ func (st *Store) Compact() error {
 	if st.closed {
 		return ErrClosed
 	}
+	if st.retired {
+		// Nothing to fold: a retired store's claim state is terminal and
+		// fully described by the WAL's transition record, which must
+		// survive until re-enrollment.
+		return nil
+	}
 	return st.compactLocked()
 }
 
@@ -368,6 +561,7 @@ func (st *Store) compactLocked() error {
 		chipID:  st.snap.chipID,
 		bits:    st.snap.bits,
 		refsPer: st.snap.refsPer,
+		epoch:   st.epoch,
 		seeds:   st.snap.seeds,
 		used:    append([]bool(nil), st.used...),
 		flat:    st.snap.flat,
@@ -384,6 +578,128 @@ func (st *Store) compactLocked() error {
 	st.walRecords = 0
 	compactions.Inc()
 	return nil
+}
+
+// StagedEpoch is a measured-but-uncommitted re-enrollment: the next
+// epoch's references, durable in the staging file but not yet live.
+// Commit performs the cutover; Discard abandons it. Until Commit's
+// transition record is on disk, the old epoch keeps serving claims and a
+// crash changes nothing.
+type StagedEpoch struct {
+	st   *Store
+	snap *snapshot
+}
+
+// Epoch returns the staged enrollment's epoch.
+func (se *StagedEpoch) Epoch() uint32 { return se.snap.epoch }
+
+// Len returns the number of staged seeds.
+func (se *StagedEpoch) Len() int { return len(se.snap.seeds) }
+
+// StageEpoch measures a re-enrollment for the device's CURRENT epoch —
+// the caller reconfigures the device (core.Device.SetEpoch) first — and
+// writes it durably to the staging file without touching the live
+// enrollment. The staged epoch must advance the store's (and reach the
+// awaited epoch when the store is retired). Claims against the old epoch
+// proceed concurrently; the budget keeps draining while the new epoch is
+// prepared.
+func (st *Store) StageEpoch(dev *core.Device, seeds []uint64, workers int) (*StagedEpoch, error) {
+	epoch := dev.Epoch()
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if epoch <= st.epoch || (st.retired && epoch < st.awaiting) {
+		cur, retired, awaiting := st.epoch, st.retired, st.awaiting
+		st.mu.Unlock()
+		if retired {
+			return nil, fmt.Errorf("%w: staged %d, store retired at %d awaiting %d",
+				ErrEpochOrder, epoch, cur, awaiting)
+		}
+		return nil, fmt.Errorf("%w: staged %d, store at %d", ErrEpochOrder, epoch, cur)
+	}
+	st.mu.Unlock()
+
+	snap, err := measureSnapshot(dev, seeds, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(filepath.Join(st.dir, stagingFile), snap, !st.opts.NoSync); err != nil {
+		return nil, err
+	}
+	epochStagings.Inc()
+	return &StagedEpoch{st: st, snap: snap}, nil
+}
+
+// Commit performs the epoch cutover: transition record (the durable
+// commit point — from here the old epoch is retired), snapshot rename,
+// WAL reset, in-memory swap. Claims are serialised against the cutover by
+// the store lock, so every claim lands entirely in one epoch.
+func (se *StagedEpoch) Commit() error {
+	st := se.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if se.snap.epoch <= st.epoch || (st.retired && se.snap.epoch < st.awaiting) {
+		return fmt.Errorf("%w: committing %d, store at %d", ErrEpochOrder, se.snap.epoch, st.epoch)
+	}
+	// Log before acknowledge: the transition record makes the retirement
+	// of the old epoch durable before anything else changes. A crash
+	// after this append and before the rename opens the store retired —
+	// old seeds unclaimable — and recovers from the staging file.
+	if err := st.wal.appendTransition(st.epoch, se.snap.epoch); err != nil {
+		return err
+	}
+	if err := os.Rename(filepath.Join(st.dir, stagingFile), filepath.Join(st.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("crpstore: installing epoch snapshot: %w", err)
+	}
+	if !st.opts.NoSync {
+		syncDir(st.dir)
+	}
+	if err := st.wal.reset(); err != nil {
+		return err
+	}
+	st.snap = se.snap
+	st.index = make(map[uint64]int, len(se.snap.seeds))
+	for i, seed := range se.snap.seeds {
+		st.index[seed] = i
+	}
+	st.used = make([]bool, len(se.snap.seeds))
+	st.unused = len(se.snap.seeds)
+	st.cursor = 0
+	st.walRecords = 0
+	st.epoch = se.snap.epoch
+	st.retired = false
+	st.awaiting = 0
+	enrolledSeeds.Add(uint64(len(se.snap.seeds)))
+	epochTransitions.Inc()
+	return nil
+}
+
+// Discard abandons a staged re-enrollment, removing its staging file. The
+// live enrollment is untouched.
+func (se *StagedEpoch) Discard() error {
+	err := os.Remove(filepath.Join(se.st.dir, stagingFile))
+	if err == nil || errors.Is(err, os.ErrNotExist) {
+		epochStagingsDiscarded.Inc()
+		return nil
+	}
+	return err
+}
+
+// Reenroll is StageEpoch + Commit in one call: measure the device's
+// current (fresh) epoch and cut the store over to it. Callers that need
+// to coordinate the cutover with live traffic (attest.Reenroller) use the
+// two-step form and commit inside their own barrier.
+func (st *Store) Reenroll(dev *core.Device, seeds []uint64, workers int) error {
+	staged, err := st.StageEpoch(dev, seeds, workers)
+	if err != nil {
+		return err
+	}
+	return staged.Commit()
 }
 
 // Close releases the store's WAL handle. Claim state is durable; reopening

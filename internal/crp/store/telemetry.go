@@ -34,4 +34,15 @@ var (
 		"Registry shard lock acquisitions that had to wait behind another holder.")
 	evictions = telemetry.Default().Counter("crpstore_evictions_total",
 		"Device stores evicted from the registry's hot LRU.")
+
+	epochStagings = telemetry.Default().Counter("crpstore_epoch_stagings_total",
+		"Re-enrollments staged (measured and written to crp.snap.next).")
+	epochStagingsDiscarded = telemetry.Default().Counter("crpstore_epoch_stagings_discarded_total",
+		"Staged re-enrollments discarded (explicitly or as uncommitted cutovers at open).")
+	epochTransitions = telemetry.Default().Counter("crpstore_epoch_transitions_total",
+		"Epoch cutovers committed (transition record durable, new enrollment live).")
+	epochRecoveries = telemetry.Default().Counter("crpstore_epoch_recoveries_total",
+		"Committed cutovers completed at open from a surviving staged snapshot.")
+	epochRetiredOpens = telemetry.Default().Counter("crpstore_epoch_retired_opens_total",
+		"Stores opened retired: cutover committed but the staged enrollment was lost.")
 )

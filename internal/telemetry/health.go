@@ -19,25 +19,35 @@ import (
 // many sessions of one device. The registry folds every observed session
 // into per-device aggregates and derives a three-state status:
 //
-//	ok       — within every SLO
-//	degraded — availability trouble (transport failures, retries,
-//	           quarantine): the device is hard to reach but nothing
-//	           questions its integrity
-//	suspect  — a security-relevant SLO is out of bounds: RTT quantiles
-//	           above the bound (overclocking/proxy signature), rejection
-//	           rate, or response-quality drift past the FNR budget
+//	ok                — within every SLO
+//	degraded          — availability trouble (transport failures, retries,
+//	                    quarantine): the device is hard to reach but
+//	                    nothing questions its integrity
+//	awaiting-reenroll — the device's seed budget emptied (or its epoch was
+//	                    retired) before a fresh enrollment went live: a
+//	                    planned lifecycle state, worse than degraded (the
+//	                    device cannot attest at all) but emphatically not
+//	                    suspect — nothing questions its integrity either
+//	suspect           — a security-relevant SLO is out of bounds: RTT
+//	                    quantiles above the bound (overclocking/proxy
+//	                    signature), rejection rate, or response-quality
+//	                    drift past the FNR budget
 //
 // The split mirrors the fleet's compromised-vs-unreachable reporting: the
-// two regimes demand different operator responses, so they must not share
-// a status.
+// regimes demand different operator responses (re-enroll vs investigate
+// vs fix the network), so they must not share a status.
 
 // DeviceStatus is the health verdict for one device.
 type DeviceStatus int
 
-// Status levels, ordered by severity.
+// Status levels, ordered by severity. Suspect dominates everything: a
+// device that is both out of budget and security-suspicious reports
+// suspect, because the operator response to suspicion is never "just
+// re-enroll it".
 const (
 	StatusOK DeviceStatus = iota
 	StatusDegraded
+	StatusAwaitingReenroll
 	StatusSuspect
 )
 
@@ -48,6 +58,8 @@ func (s DeviceStatus) String() string {
 		return "ok"
 	case StatusDegraded:
 		return "degraded"
+	case StatusAwaitingReenroll:
+		return "awaiting-reenroll"
 	case StatusSuspect:
 		return "suspect"
 	}
@@ -82,6 +94,11 @@ type SLO struct {
 	MaxTransportRate float64
 	// MaxRetryRate bounds the windowed mean retries per record.
 	MaxRetryRate float64
+	// MinSeedBudget is the low-watermark on the device's remaining seed
+	// budget: at or below it the device degrades with "seed budget low" —
+	// the operator's (and the re-enrollment pipeline's) cue to start a
+	// fresh epoch before the budget empties. 0 disables the check.
+	MinSeedBudget int
 }
 
 // DefaultHealthWindow is the rolling-window length when the SLO does not
@@ -169,6 +186,10 @@ type DeviceHealth struct {
 	// budget (-1 when no budget was ever reported).
 	SeedsClaimed   uint64
 	SeedsRemaining int
+	// BudgetExhausted reports that a session failed to claim a seed (empty
+	// or retired budget) and no claim has succeeded since — the
+	// awaiting-reenroll trigger.
+	BudgetExhausted bool
 
 	Quarantined     bool
 	QuarantineCount uint64
@@ -200,6 +221,8 @@ type deviceState struct {
 	fnrSeeded                               bool
 	seedsClaimed                            uint64
 	seedsRemaining                          int
+	budgetExhausted                         bool
+	budgetLow                               bool // mirrored into the watermark gauge
 	quarantined                             bool
 	quarantineCount                         uint64
 
@@ -218,6 +241,10 @@ type HealthRegistry struct {
 	devices map[string]*deviceState
 
 	onTransition func(device string, tr Transition)
+	// budgetLowGauge, when set, tracks how many devices currently sit at or
+	// below the seed-budget watermark (attached by the owning telemetry
+	// bundle; the registry cannot self-register).
+	budgetLowGauge *Gauge
 }
 
 // NewHealthRegistry returns an empty registry judging against slo.
@@ -354,8 +381,39 @@ func (h *HealthRegistry) ObserveQuality(device string, fnr float64) {
 	h.rederive(device, d)
 }
 
+// SetBudgetLowGauge mirrors the number of devices at or below the
+// seed-budget watermark into a registry gauge (nil detaches). The
+// registry cannot self-register metrics, so the owning bundle attaches
+// one.
+func (h *HealthRegistry) SetBudgetLowGauge(g *Gauge) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.budgetLowGauge = g
+}
+
+// refreshBudgetLow re-derives the device's watermark state and keeps the
+// budget-low gauge in step. Called with h.mu held.
+func (h *HealthRegistry) refreshBudgetLow(d *deviceState) {
+	low := d.budgetExhausted ||
+		(h.slo.MinSeedBudget > 0 && d.seedsRemaining >= 0 && d.seedsRemaining <= h.slo.MinSeedBudget)
+	if low == d.budgetLow {
+		return
+	}
+	d.budgetLow = low
+	if h.budgetLowGauge == nil {
+		return
+	}
+	if low {
+		h.budgetLowGauge.Add(1)
+	} else {
+		h.budgetLowGauge.Add(-1)
+	}
+}
+
 // ObserveSeedClaim records one seed-budget claim and the budget remaining
-// after it — the burn-rate ledger.
+// after it — the burn-rate ledger. A successful claim with budget left
+// also clears any standing exhaustion flag: the device claimed a seed, so
+// it is attesting again (typically on a fresh epoch).
 func (h *HealthRegistry) ObserveSeedClaim(device string, remaining int) {
 	if device == "" {
 		return
@@ -364,7 +422,26 @@ func (h *HealthRegistry) ObserveSeedClaim(device string, remaining int) {
 	d := h.device(device)
 	d.seedsClaimed++
 	d.seedsRemaining = remaining
-	h.mu.Unlock()
+	if remaining > 0 {
+		d.budgetExhausted = false
+	}
+	h.refreshBudgetLow(d)
+	h.rederive(device, d)
+}
+
+// ObserveBudgetExhausted records a failed seed claim against an empty or
+// retired budget: the device enters the awaiting-reenroll state until a
+// later claim succeeds with budget remaining.
+func (h *HealthRegistry) ObserveBudgetExhausted(device string) {
+	if device == "" {
+		return
+	}
+	h.mu.Lock()
+	d := h.device(device)
+	d.budgetExhausted = true
+	d.seedsRemaining = 0
+	h.refreshBudgetLow(d)
+	h.rederive(device, d)
 }
 
 // ObserveQuarantine records a circuit-breaker transition for the device.
@@ -466,6 +543,16 @@ func evaluate(d *deviceState, slo SLO) (DeviceStatus, []string) {
 	if len(suspect) > 0 {
 		return StatusSuspect, suspect
 	}
+	if d.budgetExhausted {
+		// Out of budget with no live enrollment: the planned end of an
+		// epoch's lifetime, not an integrity signal — but the device cannot
+		// attest until re-enrolled, so it outranks plain degradation.
+		return StatusAwaitingReenroll, []string{"seed budget exhausted; awaiting re-enrollment"}
+	}
+	if slo.MinSeedBudget > 0 && d.seedsRemaining >= 0 && d.seedsRemaining <= slo.MinSeedBudget {
+		degraded = append(degraded, fmt.Sprintf("seed budget low: %d <= watermark %d",
+			d.seedsRemaining, slo.MinSeedBudget))
+	}
 	if slo.MaxTransportRate > 0 && transportRate >= slo.MaxTransportRate {
 		degraded = append(degraded, fmt.Sprintf("transport rate %.2f >= slo %.2f", transportRate, slo.MaxTransportRate))
 	}
@@ -503,6 +590,7 @@ func snapshotDevice(id string, d *deviceState, slo SLO) DeviceHealth {
 		FNREstimate:     d.fnrEst,
 		SeedsClaimed:    d.seedsClaimed,
 		SeedsRemaining:  d.seedsRemaining,
+		BudgetExhausted: d.budgetExhausted,
 		Quarantined:     d.quarantined,
 		QuarantineCount: d.quarantineCount,
 		Transitions:     append([]Transition(nil), d.transitions...),
@@ -548,10 +636,11 @@ func (h *HealthRegistry) Snapshot() []DeviceHealth {
 
 // HealthSummary aggregates the fleet's statuses.
 type HealthSummary struct {
-	Devices  int
-	OK       int
-	Degraded int
-	Suspect  int
+	Devices          int
+	OK               int
+	Degraded         int
+	AwaitingReenroll int
+	Suspect          int
 }
 
 // Status reports the fleet-wide worst status.
@@ -559,6 +648,8 @@ func (s HealthSummary) Status() DeviceStatus {
 	switch {
 	case s.Suspect > 0:
 		return StatusSuspect
+	case s.AwaitingReenroll > 0:
+		return StatusAwaitingReenroll
 	case s.Degraded > 0:
 		return StatusDegraded
 	}
@@ -573,6 +664,8 @@ func (h *HealthRegistry) Summary() HealthSummary {
 		switch d.Status {
 		case StatusSuspect:
 			sum.Suspect++
+		case StatusAwaitingReenroll:
+			sum.AwaitingReenroll++
 		case StatusDegraded:
 			sum.Degraded++
 		default:
@@ -617,7 +710,8 @@ func writeDeviceJSON(b *strings.Builder, d DeviceHealth) {
 		d.WindowRecords, jsonNumber(d.FailureRate), jsonNumber(d.TransportRate), jsonNumber(d.RetryRate))
 	fmt.Fprintf(b, `, "rtt_p50": %s, "rtt_p95": %s, "rtt_p99": %s, "fnr_estimate": %s`,
 		jsonNumber(d.RTTP50), jsonNumber(d.RTTP95), jsonNumber(d.RTTP99), jsonNumber(d.FNREstimate))
-	fmt.Fprintf(b, `, "seeds_claimed": %d, "seeds_remaining": %d`, d.SeedsClaimed, d.SeedsRemaining)
+	fmt.Fprintf(b, `, "seeds_claimed": %d, "seeds_remaining": %d, "budget_exhausted": %t`,
+		d.SeedsClaimed, d.SeedsRemaining, d.BudgetExhausted)
 	fmt.Fprintf(b, `, "quarantined": %t, "quarantine_count": %d`, d.Quarantined, d.QuarantineCount)
 	if len(d.Transitions) > 0 {
 		b.WriteString(`, "transitions": [`)

@@ -198,3 +198,124 @@ func TestHealthSummaryAndJSON(t *testing.T) {
 		t.Fatalf("devices JSON = %v", devices)
 	}
 }
+
+// healthBudgetSLO is healthSLO plus the PR 6 seed-budget watermark.
+func healthBudgetSLO(watermark int) SLO {
+	slo := healthSLO()
+	slo.MinSeedBudget = watermark
+	return slo
+}
+
+func TestHealthSeedBudgetLowDegrades(t *testing.T) {
+	h := NewHealthRegistry(healthBudgetSLO(3))
+	for i := 0; i < 6; i++ {
+		h.Observe("budgeted", acceptedAt(0.020))
+	}
+	h.ObserveSeedClaim("budgeted", 10)
+	if got := h.Status("budgeted"); got != StatusOK {
+		t.Fatalf("healthy budget status = %v, want ok", got)
+	}
+	for remaining := 9; remaining >= 3; remaining-- {
+		h.ObserveSeedClaim("budgeted", remaining)
+	}
+	d, _ := h.Get("budgeted")
+	if d.Status != StatusDegraded {
+		t.Fatalf("at the watermark: status = %v (reasons %v), want degraded", d.Status, d.Reasons)
+	}
+	found := false
+	for _, r := range d.Reasons {
+		if strings.Contains(r, "seed budget low") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reasons = %v, want a seed-budget-low violation", d.Reasons)
+	}
+	// A fresh epoch's enrollment lifts the budget and clears the flag.
+	h.ObserveSeedClaim("budgeted", 12)
+	if got := h.Status("budgeted"); got != StatusOK {
+		t.Fatalf("re-enrolled status = %v, want ok", got)
+	}
+}
+
+func TestHealthBudgetExhaustedAwaitingReenroll(t *testing.T) {
+	h := NewHealthRegistry(healthSLO())
+	for i := 0; i < 6; i++ {
+		h.Observe("dry", acceptedAt(0.020))
+	}
+	h.ObserveBudgetExhausted("dry")
+	d, _ := h.Get("dry")
+	if d.Status != StatusAwaitingReenroll {
+		t.Fatalf("exhausted status = %v (reasons %v), want awaiting-reenroll", d.Status, d.Reasons)
+	}
+	if !d.BudgetExhausted || d.SeedsRemaining != 0 {
+		t.Fatalf("snapshot: %+v", d)
+	}
+	sum := h.Summary()
+	if sum.AwaitingReenroll != 1 || sum.Status() != StatusAwaitingReenroll {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The first claim against the fresh epoch recovers the device.
+	h.ObserveSeedClaim("dry", 8)
+	if got := h.Status("dry"); got != StatusOK {
+		t.Fatalf("recovered status = %v, want ok", got)
+	}
+}
+
+// TestHealthAwaitingReenrollAntiFlap: the MinSessions gate applies to the
+// lifecycle states exactly as it does to SLO judgements — a device that
+// exhausts during its first few observations is not flagged yet.
+func TestHealthAwaitingReenrollAntiFlap(t *testing.T) {
+	h := NewHealthRegistry(healthSLO()) // MinSessions = 4
+	h.Observe("young", acceptedAt(0.020))
+	h.ObserveBudgetExhausted("young")
+	if got := h.Status("young"); got != StatusOK {
+		t.Fatalf("pre-MinSessions exhaustion judged: %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe("young", acceptedAt(0.020))
+	}
+	if got := h.Status("young"); got != StatusAwaitingReenroll {
+		t.Fatalf("post-MinSessions status = %v, want awaiting-reenroll", got)
+	}
+}
+
+// TestHealthSuspectOutranksAwaitingReenroll: an integrity signal must not
+// be masked by the (benign) lifecycle state.
+func TestHealthSuspectOutranksAwaitingReenroll(t *testing.T) {
+	h := NewHealthRegistry(healthSLO())
+	for i := 0; i < 8; i++ {
+		h.Observe("evil", acceptedAt(0.500)) // far over the RTT SLO
+	}
+	h.ObserveBudgetExhausted("evil")
+	if got := h.Status("evil"); got != StatusSuspect {
+		t.Fatalf("status = %v, want suspect to dominate awaiting-reenroll", got)
+	}
+}
+
+func TestHealthBudgetLowGaugeTracksDevices(t *testing.T) {
+	h := NewHealthRegistry(healthBudgetSLO(2))
+	g := NewRegistry().Gauge("test_budget_low", "")
+	h.SetBudgetLowGauge(g)
+	h.ObserveSeedClaim("a", 10)
+	h.ObserveSeedClaim("b", 10)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v with healthy budgets", g.Value())
+	}
+	h.ObserveSeedClaim("a", 2) // at the watermark
+	h.ObserveBudgetExhausted("b")
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2 (one low, one exhausted)", g.Value())
+	}
+	// Repeat observations must not double-count.
+	h.ObserveSeedClaim("a", 1)
+	h.ObserveBudgetExhausted("b")
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v after repeats, want 2", g.Value())
+	}
+	h.ObserveSeedClaim("a", 9) // re-enrolled
+	h.ObserveSeedClaim("b", 9)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v after recovery, want 0", g.Value())
+	}
+}

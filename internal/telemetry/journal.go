@@ -39,6 +39,7 @@ const (
 	EventBackoff                           // backoff computed before a retry
 	EventFaultInjected                     // deterministic harness fired
 	EventQuarantine                        // circuit-breaker transition
+	EventEpoch                             // epoch lifecycle: exhaustion, re-enrollment, cutover
 
 	numEventKinds
 )
@@ -64,6 +65,8 @@ func (k EventKind) String() string {
 		return "fault_injected"
 	case EventQuarantine:
 		return "quarantine"
+	case EventEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

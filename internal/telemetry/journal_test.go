@@ -131,7 +131,7 @@ func TestEventKindNamesStable(t *testing.T) {
 		EventChallengeSent: "challenge_sent", EventChecksumReceived: "checksum_received",
 		EventVerifyOutcome: "verify_outcome", EventRetry: "retry",
 		EventBackoff: "backoff", EventFaultInjected: "fault_injected",
-		EventQuarantine: "quarantine",
+		EventQuarantine: "quarantine", EventEpoch: "epoch",
 	}
 	for k := EventKind(0); k < numEventKinds; k++ {
 		if k.String() != want[k] {

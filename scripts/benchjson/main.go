@@ -168,11 +168,17 @@ func loadDoc(path string) (*Doc, error) {
 	return &doc, nil
 }
 
+// nsByName collapses a snapshot to one ns/op per benchmark. Repeated names
+// (a `go test -count N` run records every sample) keep the fastest sample:
+// min-of-N is the noise floor of the machine, which is what a regression
+// gate should compare — a slow outlier is scheduler jitter, not the code.
 func nsByName(doc *Doc) map[string]float64 {
 	m := make(map[string]float64, len(doc.Benchmarks))
 	for _, r := range doc.Benchmarks {
 		if ns, ok := r.Metrics["ns/op"]; ok {
-			m[r.Name] = ns
+			if prev, seen := m[r.Name]; !seen || ns < prev {
+				m[r.Name] = ns
+			}
 		}
 	}
 	return m

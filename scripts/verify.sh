@@ -42,4 +42,7 @@ go test -race ./internal/sim/... ./internal/core/... ./internal/experiments/...
 echo "== go test -race -run TestParallelDeterminism (smoke across fan-out users)"
 go test -race -run TestParallelDeterminism ./internal/core/... ./internal/experiments/... ./internal/attacks/...
 
+echo "== go test -race epoch lifecycle suite (cutover kill-and-recover, concurrent re-enrollment vs live claims)"
+go test -race -run 'Epoch|Reenroll|Exhaust|Kill|WALClaimsSplit' ./internal/crp/store ./internal/attest ./internal/core
+
 echo "verify: OK"
