@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"pufatt/internal/attacks"
 	"pufatt/internal/attest"
@@ -695,6 +696,55 @@ func BenchmarkJournalAppend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		j.Append(ev)
 	}
+}
+
+// BenchmarkHistoryCollect measures one full time-series collection pass —
+// every counter, gauge, and histogram in a session-shaped registry into
+// its windowed ring. The collector runs on a timer next to live
+// attestation traffic, so after the first pass warms the ring cache it
+// must stay allocation-free.
+func BenchmarkHistoryCollect(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	rtt := reg.Histogram("bench_rtt_seconds", "round-trip time", nil)
+	sessions := reg.CounterVec("bench_sessions_total", "sessions by verdict", "verdict")
+	rejects := reg.CounterVec("bench_rejections_total", "rejections by reason", "reason")
+	firing := reg.Gauge("bench_alerts_firing", "alerts currently firing")
+	for i := 0; i < 1024; i++ {
+		rtt.ObserveExemplar(float64(i%16)*0.002, uint64(i+1))
+		sessions.With("accepted").Inc()
+		if i%9 == 0 {
+			rejects.With("time_bound").Inc()
+		}
+	}
+	firing.Set(1)
+	ts := telemetry.NewTimeSeries(reg, 720, 5*time.Second)
+	ts.Collect() // warm the per-series ring cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Collect()
+	}
+}
+
+// BenchmarkExemplarObserve compares the RTT histogram's plain observation
+// against the exemplar-carrying variant on the protocol hot path: the
+// exemplar is one extra atomic store, so both must be allocation-free and
+// within noise of each other.
+func BenchmarkExemplarObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_exemplar_seconds", "exemplar hot path", nil)
+	b.Run("observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(0.0123)
+		}
+	})
+	b.Run("observe-exemplar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ObserveExemplar(0.0123, uint64(i+1))
+		}
+	})
 }
 
 // benchStorePool installs a synthetic enrollment (reference rows drawn

@@ -26,7 +26,16 @@
 // -slo-fnr set the per-device SLO thresholds that drive /devices and
 // /healthz: a prover whose p95 round-trip exceeds -slo-rtt is flagged
 // suspect from timing alone, the PUFatt signature of an overclocked or
-// proxied device.
+// proxied device. The same thresholds derive the burn-rate alert rules
+// served at /alerts, and /metrics/history keeps an hour of windowed
+// samples (collected every -history-window) for every metric — watch both
+// live with cmd/pufatt-top.
+//
+// Federation: -federate "a=http://host1:9090,b=http://host2:9090" turns
+// the process into a fleet-level observability endpoint instead of an
+// attestation role: it scrapes each named verifier's admin surface and
+// re-serves the merged series, device health, and alerts on -metrics-addr,
+// every record labeled with its source.
 //
 // Durable CRP budget: -store-dir points the verifier at a persistent
 // enrollment store; each session claims one single-use seed, and claims
@@ -44,10 +53,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"pufatt/internal/attest"
@@ -57,6 +69,7 @@ import (
 	"pufatt/internal/mcu"
 	"pufatt/internal/rng"
 	"pufatt/internal/swatt"
+	"pufatt/internal/telemetry"
 )
 
 func main() {
@@ -81,12 +94,18 @@ func main() {
 		faultDelay  = flag.Float64("fault-delay", 0, "probability of delaying a frame")
 		faultDup    = flag.Float64("fault-dup", 0, "probability of duplicating a frame")
 		faultDelayS = flag.Float64("fault-delay-secs", 0.5, "injected delay per delay fault (seconds)")
+		faultJit    = flag.Float64("fault-jitter", 0, "probability of jittering a response: delivered intact but late, inflating the observed RTT")
+		faultJitS   = flag.Float64("fault-jitter-secs", 0.02, "added latency per jitter fault (seconds)")
 		faultMax    = flag.Int("max-faults", 0, "stop injecting after N faults (0 = forever)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault schedule seed")
 		faultLog    = flag.Bool("fault-log", false, "emit one JSON line per injected fault to stderr")
 
 		metricsAddr = flag.String("metrics-addr", "",
-			"serve /metrics, /debug/vars, /debug/traces, /debug/journal, /devices, /healthz, and /debug/pprof on this address (empty = disabled)")
+			"serve /metrics, /metrics/history, /alerts, /debug/vars, /debug/traces, /debug/journal, /devices, /healthz, and /debug/pprof on this address (empty = disabled)")
+		historyWindow = flag.Duration("history-window", 5*time.Second,
+			"collection interval for /metrics/history windowed samples and burn-rate alert evaluation")
+		federate = flag.String("federate", "",
+			"run as a federation endpoint instead of attesting: comma-separated name=http://host:port admin sources, scraped every -history-window and re-served merged (with per-source labels) on -metrics-addr")
 		flightDir = flag.String("flight-dir", "",
 			"write a flight-recorder dump (JSON lines of the session's protocol events) here whenever a session fails (empty = disabled)")
 		sloRTT = flag.Float64("slo-rtt", 0,
@@ -107,11 +126,21 @@ func main() {
 	flag.Parse()
 	version()
 
+	if *federate != "" {
+		check(runFederate(*metricsAddr, *federate, *historyWindow))
+		return
+	}
+
 	if *metricsAddr != "" {
 		addr, stopAdmin, err := attest.StartAdmin(*metricsAddr, nil)
 		check(err)
 		defer stopAdmin()
-		fmt.Printf("telemetry: http://%s/metrics (health at /devices, /healthz)\n", addr)
+		// History and burn-rate alerts only move when someone samples them;
+		// the admin endpoint is that someone's reason to exist.
+		attest.Metrics().History.SetWindow(*historyWindow)
+		stopObs := attest.Metrics().StartObservability(*historyWindow)
+		defer stopObs()
+		fmt.Printf("telemetry: http://%s/metrics (history at /metrics/history, alerts at /alerts, health at /devices, /healthz)\n", addr)
 	}
 	if *flightDir != "" {
 		attest.Metrics().SetFlightDir(*flightDir)
@@ -121,7 +150,9 @@ func main() {
 	slo.MaxRTTP95 = *sloRTT
 	slo.MaxFNR = *sloFNR
 	slo.MinSeedBudget = *sloBudget
-	attest.Metrics().Health.SetSLO(slo)
+	// SetSLO re-derives the burn-rate alert rules along with the health
+	// judgement, so /alerts and /devices agree on what "healthy" means.
+	attest.Metrics().SetSLO(slo)
 
 	params := swatt.Params{MemWords: *memWords, Chunks: *chunks, BlocksPerChunk: *blocks, PRG: swatt.PRGMix32}
 	dev, err := core.NewDevice(core.MustNewDesign(core.DefaultConfig()), rng.New(*seed), *chip)
@@ -168,10 +199,10 @@ func main() {
 
 	plan := attest.FaultPlan{
 		Drop: *faultDrop, Corrupt: *faultCorr, Truncate: *faultTrunc,
-		Delay: *faultDelay, Duplicate: *faultDup,
-		DelaySeconds: *faultDelayS, MaxFaults: *faultMax,
+		Delay: *faultDelay, Duplicate: *faultDup, Jitter: *faultJit,
+		DelaySeconds: *faultDelayS, JitterSeconds: *faultJitS, MaxFaults: *faultMax,
 	}
-	faulty := plan.Drop > 0 || plan.Corrupt > 0 || plan.Truncate > 0 || plan.Delay > 0 || plan.Duplicate > 0
+	faulty := plan.Drop > 0 || plan.Corrupt > 0 || plan.Truncate > 0 || plan.Delay > 0 || plan.Duplicate > 0 || plan.Jitter > 0
 	policy := attest.DefaultRetryPolicy()
 	policy.MaxAttempts = *retries
 	policy.AttemptTimeout = *attemptTO
@@ -308,6 +339,58 @@ func storeAdmin(dir string, enroll int, compact bool, reenroll int, dev *core.De
 	fmt.Printf("compacted %s: %d WAL record(s) folded into the snapshot, %d of %d seeds remaining\n",
 		dir, before, st.Remaining(), st.Len())
 	return nil
+}
+
+// runFederate runs the multi-verifier federation endpoint: parse the
+// name=url source list, scrape every source at the history interval, and
+// re-serve the merged observability surface (series, devices, alerts,
+// health — each record labeled with its source) on addr. Blocks forever.
+func runFederate(addr, spec string, interval time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("-federate requires -metrics-addr to serve the merged view on")
+	}
+	var sources []telemetry.ScrapeSource
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("-federate: bad source %q, want name=http://host:port", pair)
+		}
+		sources = append(sources, telemetry.ScrapeSource{
+			Name: strings.TrimSpace(name), BaseURL: strings.TrimSpace(url),
+		})
+	}
+	fed, err := telemetry.NewFederator(sources)
+	if err != nil {
+		return err
+	}
+	// A source that has not answered for three intervals is a blind spot;
+	// surface it rather than serving its last body as if it were fresh.
+	fed.SetStaleAfter(3 * interval)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: fed.Mux()}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "pufatt-attest: federate:", serr)
+		}
+	}()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), interval)
+	ok := fed.Poll(ctx)
+	cancel()
+	stop := fed.Start(interval)
+	defer stop()
+	fmt.Printf("federating %d source(s) on http://%s (merged /metrics/history, /devices, /alerts, /healthz; scrape health at /federation) — %d reachable\n",
+		len(sources), ln.Addr(), ok)
+	select {} // serve forever
 }
 
 func check(err error) {

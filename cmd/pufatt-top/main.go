@@ -1,0 +1,66 @@
+// pufatt-top is a live terminal dashboard for a PUFatt verifier's admin
+// surface (or a federated fleet endpoint). It polls /healthz, /devices,
+// /alerts, and /metrics/history and redraws one frame per interval: fleet
+// health, the worst-offending devices ranked by SLO damage, burn-rate
+// alert state, and sparklines of the windowed metric history — with the
+// most recent p99 exemplar trace ID next to the round-trip series, so a
+// tail spike can be chased straight into /debug/traces.
+//
+// Usage:
+//
+//	pufatt-top -addr http://localhost:7790
+//	pufatt-top -addr http://fedhost:7791 -top 12 -interval 5s
+//	pufatt-top -addr http://localhost:7790 -once -no-color   # one plain frame
+//
+// No dependencies beyond the standard library: plain ANSI, no curses.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7790", "admin endpoint base URL (verifier or federator)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	topK := flag.Int("top", 8, "worst devices to show")
+	maxSeries := flag.Int("series", 8, "sparkline rows to show")
+	width := flag.Int("spark-width", 48, "sparkline width in glyphs")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	noColor := flag.Bool("no-color", false, "disable ANSI colors")
+	flag.Parse()
+
+	opts := renderOptions{
+		Color:      !*noColor,
+		TopK:       *topK,
+		MaxSeries:  *maxSeries,
+		SparkWidth: *width,
+	}
+	client := &http.Client{Timeout: *interval}
+	if client.Timeout < time.Second {
+		client.Timeout = time.Second
+	}
+
+	for {
+		snap := fetchSnapshot(client, *addr, time.Now())
+		var frame bytes.Buffer
+		render(&frame, snap, opts)
+		if !*once {
+			// Home the cursor and clear below rather than wiping the whole
+			// screen: no flicker, and scrollback stays useful.
+			fmt.Print("\x1b[H\x1b[J")
+		}
+		_, _ = os.Stdout.Write(frame.Bytes())
+		if *once {
+			if len(snap.Errs) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

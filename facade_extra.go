@@ -1,6 +1,11 @@
 package pufatt
 
 import (
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
 	"pufatt/internal/attacks"
 	"pufatt/internal/attest"
 	"pufatt/internal/buildinfo"
@@ -337,4 +342,57 @@ func StartAdmin(addr string, t *AttestTelemetry) (string, func() error, error) {
 		return "", nil, err
 	}
 	return a.String(), closeFn, nil
+}
+
+// Fleet federation types: one observability endpoint over many verifiers.
+type (
+	// MetricsHistory is the bounded windowed time-series store behind
+	// /metrics/history.
+	MetricsHistory = telemetry.TimeSeries
+	// AlertManager evaluates SLO burn-rate rules over the metric history
+	// and serves /alerts.
+	AlertManager = telemetry.AlertManager
+	// AlertRule is one burn-rate alerting rule (ratio, quantile, or gauge
+	// threshold over dual fast/slow windows).
+	AlertRule = telemetry.Rule
+	// ScrapeSource names one verifier admin endpoint a federator polls.
+	ScrapeSource = telemetry.ScrapeSource
+	// FleetFederator scrapes several verifiers' admin surfaces and
+	// re-serves the merged history, devices, alerts, and health, every
+	// record labeled with its source.
+	FleetFederator = telemetry.Federator
+)
+
+// DefaultAlertRules derives the stock burn-rate rule set (session
+// failures, false-negative rate, RTT p95, seed budget) from an SLO.
+func DefaultAlertRules(slo HealthSLO) []AlertRule { return attest.DefaultAlertRules(slo) }
+
+// NewFleetFederator builds a federator over the named admin endpoints.
+// Source names must be unique and non-empty: they become the "source"
+// label on every merged record.
+func NewFleetFederator(sources []ScrapeSource) (*FleetFederator, error) {
+	return telemetry.NewFederator(sources)
+}
+
+// StartFederation serves the federator's merged admin surface
+// (/metrics/history, /devices, /alerts, /healthz, /federation) on the TCP
+// address (":0" picks a free port) and starts the scrape loop at the given
+// interval. The returned function stops both.
+func StartFederation(addr string, fed *FleetFederator, interval time.Duration) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: fed.Mux()}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			_ = serr // listener closed under us: nothing useful to do
+		}
+	}()
+	stopPoll := fed.Start(interval)
+	closeFn := func() error {
+		stopPoll()
+		return srv.Close()
+	}
+	return ln.Addr().String(), closeFn, nil
 }

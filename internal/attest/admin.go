@@ -16,47 +16,75 @@ import (
 // StartAdmin is called — and is meant for a loopback or management network,
 // not the attestation data path.
 
+// adminContentJSON is the Content-Type of every JSON admin route.
+const adminContentJSON = "application/json; charset=utf-8"
+
+// adminGet wraps an admin handler: GET and HEAD pass with the given
+// Content-Type set up front; every other method is 405 with an Allow
+// header. The admin surface is read-only by construction — a mutating verb
+// reaching it is a client bug worth a loud, typed answer.
+func adminGet(contentType string, fn func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		fn(w, r)
+	}
+}
+
 // AdminMux returns an http.ServeMux serving the telemetry admin surface:
 //
-//	/metrics        Prometheus text exposition (format 0.0.4)
-//	/debug/vars     expvar-style JSON of every registered metric
-//	/debug/traces   recent attestation span trees as JSON
-//	/debug/journal  the flight recorder's retained protocol events as JSON
-//	/devices        per-device health snapshots (SLO judgements) as JSON
-//	/healthz        fleet-wide health summary; HTTP 503 when any device is
-//	                suspect, 200 otherwise
-//	/debug/pprof/   the standard runtime profiler endpoints
+//	/metrics          Prometheus text exposition (format 0.0.4)
+//	/metrics/history  windowed time-series history as JSON; range queries
+//	                  via ?metric=&start=&end=&step=
+//	/alerts           SLO burn-rate alert statuses as JSON
+//	/debug/vars       expvar-style JSON of every registered metric
+//	/debug/traces     recent attestation span trees as JSON
+//	/debug/journal    the flight recorder's retained protocol events as JSON
+//	/devices          per-device health snapshots (SLO judgements) as JSON
+//	/healthz          fleet-wide health summary; HTTP 503 when any device is
+//	                  suspect, 200 otherwise
+//	/debug/pprof/     the standard runtime profiler endpoints
 //
-// A nil Telemetry means the package default (the one the attestation hot
-// paths record into).
+// All telemetry routes are GET/HEAD only (405 otherwise). A nil Telemetry
+// means the package default (the one the attestation hot paths record
+// into).
 func AdminMux(t *Telemetry) *http.ServeMux {
 	if t == nil {
 		t = tel
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	mux.HandleFunc("/metrics", adminGet("text/plain; version=0.0.4; charset=utf-8", func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Registry.WritePrometheus(w)
-	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	}))
+	mux.HandleFunc("/metrics/history", adminGet(adminContentJSON, func(w http.ResponseWriter, r *http.Request) {
+		q, err := telemetry.ParseRangeQuery(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_ = t.History.WriteJSON(w, q)
+	}))
+	mux.HandleFunc("/alerts", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
+		_ = t.Alerts.WriteJSON(w)
+	}))
+	mux.HandleFunc("/debug/vars", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Registry.WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	}))
+	mux.HandleFunc("/debug/traces", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Tracer.WriteJSON(w)
-	})
-	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	}))
+	mux.HandleFunc("/debug/journal", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Journal.WriteJSON(w)
-	})
-	mux.HandleFunc("/devices", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	}))
+	mux.HandleFunc("/devices", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Health.WriteJSON(w)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/healthz", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		sum := t.Health.Summary()
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		// A suspect device is a security signal: fail the health check so
 		// orchestration-level alerting fires without parsing the body.
 		// Degraded is availability trouble and awaiting-reenroll a planned
@@ -66,7 +94,7 @@ func AdminMux(t *Telemetry) *http.ServeMux {
 		}
 		fmt.Fprintf(w, `{"status": %q, "devices": %d, "ok": %d, "degraded": %d, "awaiting_reenroll": %d, "suspect": %d}`+"\n",
 			sum.Status().String(), sum.Devices, sum.OK, sum.Degraded, sum.AwaitingReenroll, sum.Suspect)
-	})
+	}))
 	// pprof registers on http.DefaultServeMux via init; re-register its
 	// handlers explicitly so the admin endpoint works on a private mux
 	// without dragging DefaultServeMux (and whatever else registered

@@ -1,0 +1,317 @@
+package attest
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pufatt/internal/telemetry"
+)
+
+// Per-route contract tests for the admin surface: method discipline,
+// Content-Type, and body well-formedness — plus the concurrency and
+// federation suites that lean on live admin servers.
+
+var adminJSONRoutes = []string{
+	"/metrics/history", "/alerts", "/debug/vars", "/debug/traces",
+	"/debug/journal", "/devices", "/healthz",
+}
+
+func TestAdminRouteMethodsAndContentTypes(t *testing.T) {
+	o := newObsFixture(t, 61)
+	o.sessions(t, o.prover, 3)
+	o.tick()
+	srv := httptest.NewServer(AdminMux(o.tel))
+	defer srv.Close()
+	client := srv.Client()
+
+	for _, path := range append([]string{"/metrics"}, adminJSONRoutes...) {
+		// GET succeeds with the declared Content-Type.
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		wantCT := "application/json; charset=utf-8"
+		if path == "/metrics" {
+			wantCT = "text/plain; version=0.0.4; charset=utf-8"
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wantCT {
+			t.Errorf("GET %s: Content-Type %q, want %q", path, ct, wantCT)
+		}
+		if path != "/metrics" {
+			var v any
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Errorf("GET %s: body is not JSON: %v\n%s", path, err, body)
+			}
+		}
+
+		// HEAD passes the method gate too.
+		resp, err = client.Head(srv.URL + path)
+		if err != nil {
+			t.Fatalf("HEAD %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s: status %d", path, resp.StatusCode)
+		}
+
+		// Mutating verbs are refused with an Allow header.
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, _ := http.NewRequest(method, srv.URL+path, strings.NewReader("x"))
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", method, path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+				t.Errorf("%s %s: Allow %q, want \"GET, HEAD\"", method, path, allow)
+			}
+		}
+	}
+
+	// A malformed history range query is a client error, not a 500.
+	resp, err := client.Get(srv.URL + "/metrics/history?start=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad range query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugVarsConcurrentJSON hammers the JSON admin routes while sessions
+// mutate every underlying structure; each response must parse as JSON —
+// a torn snapshot is a bug even when -race stays quiet.
+func TestDebugVarsConcurrentJSON(t *testing.T) {
+	o := newObsFixture(t, 67)
+	srv := httptest.NewServer(AdminMux(o.tel))
+	defer srv.Close()
+	client := srv.Client()
+
+	done := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		jitter := NewFaultyLink(o.prover, FaultPlan{Jitter: 1, JitterSeconds: o.verifier.Delta()}, 5)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			agent := ProverAgent(o.prover)
+			if i%3 == 0 {
+				agent = jitter // keep health transitions and alerts churning
+			}
+			_, _, _ = o.tel.runSessionRetry(context.Background(), o.verifier, agent, DefaultLink(), RetryPolicy{})
+			o.tick()
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 8; i++ {
+				for _, path := range adminJSONRoutes {
+					resp, err := client.Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					var v any
+					if err := json.Unmarshal(body, &v); err != nil {
+						t.Errorf("GET %s: torn JSON under load: %v", path, err)
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(done)
+	writers.Wait()
+}
+
+// TestConcurrentFlightDumpUniqueFilenames drives two telemetry bundles
+// dumping into one shared directory concurrently: the process-wide dump
+// sequence must keep every filename unique (the clobbering this guards
+// against was a real cross-bundle collision).
+func TestConcurrentFlightDumpUniqueFilenames(t *testing.T) {
+	dir := t.TempDir()
+	a := newFleetTelemetry()
+	b := newFleetTelemetry()
+	a.SetFlightDir(dir)
+	b.SetFlightDir(dir)
+
+	const dumpsPerBundle = 16
+	var wg sync.WaitGroup
+	paths := make(chan string, 2*dumpsPerBundle)
+	for _, bundle := range []*Telemetry{a, b} {
+		wg.Add(1)
+		go func(tl *Telemetry) {
+			defer wg.Done()
+			for i := 0; i < dumpsPerBundle; i++ {
+				path, err := tl.flightDump("rejected", telemetry.TraceID(uint64(i+1)))
+				if err != nil {
+					t.Errorf("flight dump: %v", err)
+					return
+				}
+				paths <- path
+			}
+		}(bundle)
+	}
+	wg.Wait()
+	close(paths)
+
+	seen := make(map[string]bool)
+	for p := range paths {
+		if seen[p] {
+			t.Errorf("duplicate flight dump path %s", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 2*dumpsPerBundle {
+		t.Fatalf("unique dump paths = %d, want %d", len(seen), 2*dumpsPerBundle)
+	}
+	onDisk, err := filepath.Glob(filepath.Join(dir, "flight-*-rejected.jsonl"))
+	if err != nil || len(onDisk) != 2*dumpsPerBundle {
+		t.Fatalf("dumps on disk = %d (err=%v), want %d", len(onDisk), err, 2*dumpsPerBundle)
+	}
+	for _, p := range onDisk {
+		if fi, serr := os.Stat(p); serr != nil || fi.Size() == 0 {
+			t.Errorf("dump %s: stat err=%v, empty=%v", p, serr, serr == nil && fi.Size() == 0)
+		}
+	}
+}
+
+// TestFederationOverLiveAdminServers spins up two real in-process admin
+// servers — each backed by its own attestation traffic — and asserts the
+// federator's merged surfaces label every record with its source shard.
+func TestFederationOverLiveAdminServers(t *testing.T) {
+	shards := map[string]*obsFixture{}
+	sources := make([]telemetry.ScrapeSource, 0, 2)
+	for i, name := range []string{"east", "west"} {
+		o := newObsFixture(t, 71+uint64(i))
+		o.verifier.Device = name + "-node-0"
+		o.sessions(t, o.prover, 4)
+		o.tick()
+		addr, closeFn, err := StartAdmin("127.0.0.1:0", o.tel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeFn()
+		shards[name] = o
+		sources = append(sources, telemetry.ScrapeSource{Name: name, BaseURL: "http://" + addr.String()})
+	}
+
+	fed, err := telemetry.NewFederator(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fed.Poll(context.Background()); n != 2 {
+		t.Fatalf("healthy scrapes = %d, want 2", n)
+	}
+	if h := fed.Health(); h.Status != "ok" || len(h.Stale) != 0 {
+		t.Fatalf("federated health = %+v, want ok with no stale sources", h)
+	}
+
+	srv := httptest.NewServer(fed.Mux())
+	defer srv.Close()
+
+	var devices []struct {
+		Source string `json:"source"`
+		Device string `json:"device"`
+		Status string `json:"status"`
+	}
+	resp, err := http.Get(srv.URL + "/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(devices) != 2 {
+		t.Fatalf("merged devices = %d, want 2", len(devices))
+	}
+	got := map[string]string{}
+	for _, d := range devices {
+		got[d.Source] = d.Device
+		if d.Status != "ok" {
+			t.Errorf("device %s/%s status %q, want ok", d.Source, d.Device, d.Status)
+		}
+	}
+	if got["east"] != "east-node-0" || got["west"] != "west-node-0" {
+		t.Fatalf("source labels wrong: %v", got)
+	}
+
+	// The merged history carries both shards' RTT series, each labeled.
+	var hist struct {
+		Federated bool `json:"federated"`
+		Series    []struct {
+			Source string `json:"source"`
+			Name   string `json:"name"`
+		} `json:"series"`
+	}
+	resp, err = http.Get(srv.URL + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hist.Federated {
+		t.Fatal("merged history not marked federated")
+	}
+	rtt := map[string]bool{}
+	for _, s := range hist.Series {
+		if s.Name == "attest_rtt_seconds" {
+			rtt[s.Source] = true
+		}
+	}
+	if !rtt["east"] || !rtt["west"] {
+		t.Fatalf("merged RTT series sources = %v, want east and west", rtt)
+	}
+
+	// Both shards' alert rule sets merge under their source labels.
+	var alerts []struct {
+		Source string `json:"source"`
+		Name   string `json:"name"`
+	}
+	resp, err = http.Get(srv.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	perSource := map[string]int{}
+	for _, a := range alerts {
+		perSource[a.Source]++
+	}
+	if perSource["east"] == 0 || perSource["east"] != perSource["west"] {
+		t.Fatalf("merged alert rules per source = %v, want equal non-zero counts", perSource)
+	}
+}

@@ -42,6 +42,14 @@ const (
 	FaultDelay
 	// FaultDuplicate delivers the frame twice.
 	FaultDuplicate
+	// FaultJitter delivers the frame intact but late by JitterSeconds —
+	// sub-deadline latency inflation, the overclocking/proxy-attack
+	// signature: the session COMPLETES and the verifier sees the inflated
+	// RTT, feeding the timing SLO instead of the transport-fault path.
+	// (FaultDelay, by contrast, models a missed deadline: a transport
+	// fault, no verdict.) New classes append here so existing seeds keep
+	// their schedules — draw() consumes RNG only for configured classes.
+	FaultJitter
 
 	numFaultClasses
 )
@@ -59,6 +67,8 @@ func (c FaultClass) String() string {
 		return "delay"
 	case FaultDuplicate:
 		return "duplicate"
+	case FaultJitter:
+		return "jitter"
 	}
 	return fmt.Sprintf("fault(%d)", int(c))
 }
@@ -72,11 +82,17 @@ type FaultPlan struct {
 	Truncate  float64
 	Delay     float64
 	Duplicate float64
+	Jitter    float64
 
 	// DelaySeconds is the extra latency a FaultDelay imposes. FaultyConn
 	// sleeps it in real time (the TCP deadlines are real); FaultyLink
 	// models it on the simulated clock.
 	DelaySeconds float64
+	// JitterSeconds is the extra latency a FaultJitter adds to a delivered
+	// response — enough to shift the RTT distribution, not enough (by
+	// design of the plan) to miss the deadline. FaultyConn sleeps it;
+	// FaultyLink adds it to the modelled compute time.
+	JitterSeconds float64
 
 	// MaxFaults, when positive, stops injecting after that many faults —
 	// the transient-outage model, under which a retry budget eventually
@@ -97,12 +113,15 @@ func (p FaultPlan) prob(c FaultClass) float64 {
 		return p.Delay
 	case FaultDuplicate:
 		return p.Duplicate
+	case FaultJitter:
+		return p.Jitter
 	}
 	return 0
 }
 
 // PlanFor returns a plan that always fires the single fault class c, for
-// per-class tests.
+// per-class tests. delaySeconds feeds DelaySeconds for FaultDelay and
+// JitterSeconds for FaultJitter.
 func PlanFor(c FaultClass, delaySeconds float64, maxFaults int) FaultPlan {
 	p := FaultPlan{DelaySeconds: delaySeconds, MaxFaults: maxFaults}
 	switch c {
@@ -116,6 +135,10 @@ func PlanFor(c FaultClass, delaySeconds float64, maxFaults int) FaultPlan {
 		p.Delay = 1
 	case FaultDuplicate:
 		p.Duplicate = 1
+	case FaultJitter:
+		p.Jitter = 1
+		p.JitterSeconds = delaySeconds
+		p.DelaySeconds = 0
 	}
 	return p
 }
@@ -282,6 +305,9 @@ func (fi *FaultInjector) Injected() int { return fi.state.Injected() }
 type FaultyConn struct {
 	rw io.ReadWriter
 	*faultState
+
+	jmu         sync.Mutex
+	injectedRTT float64
 }
 
 // NewFaultyConn wraps rw with a fresh single-connection fault schedule.
@@ -342,8 +368,42 @@ func (f *FaultyConn) Write(p []byte) (int, error) {
 			return 0, err
 		}
 		return len(p), nil
+	case FaultJitter:
+		// Intact but late — and (unlike FaultDelay) meant to stay inside
+		// the deadline, so the frame verifies with an inflated RTT. The
+		// sleep models the wire, but the timing decision runs on the
+		// *simulated* clock (see the timing note in tcp.go), so the added
+		// latency is also recorded for InjectedRTTSeconds.
+		jit := f.jitterSeconds()
+		time.Sleep(time.Duration(jit * float64(time.Second)))
+		f.recordInjectedRTT(jit)
+		if _, err := f.rw.Write(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
 	}
 	return f.rw.Write(p)
+}
+
+// recordInjectedRTT accumulates simulated-clock latency added by jitter
+// faults on this connection.
+func (f *FaultyConn) recordInjectedRTT(s float64) {
+	f.jmu.Lock()
+	f.injectedRTT += s
+	f.jmu.Unlock()
+}
+
+// InjectedRTTSeconds reports the simulated-clock latency that jitter
+// faults have added on this connection. The verifier's timing decision is
+// modelled, not wall-clock (see the timing note in tcp.go), so the TCP
+// request path asks the conn for this value and folds it into the
+// session's elapsed time — that is what makes a jittered-but-complete
+// session rejectable on the time bound over a real transport, exactly as
+// FaultyLink's `compute + JitterSeconds` does in process.
+func (f *FaultyConn) InjectedRTTSeconds() float64 {
+	f.jmu.Lock()
+	defer f.jmu.Unlock()
+	return f.injectedRTT
 }
 
 // Close closes the wrapped stream if it is closeable.
@@ -410,6 +470,12 @@ func (f *FaultyConn) delaySeconds() float64 {
 	return f.plan.DelaySeconds
 }
 
+func (f *FaultyConn) jitterSeconds() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan.JitterSeconds
+}
+
 // FaultyLink wraps an in-memory ProverAgent with a faulty last hop, for the
 // simulated-clock paths (RunSession, Fleet.Sweep). Response frames pass
 // through the real wire codec with faults applied to the bytes, so every
@@ -421,6 +487,10 @@ func (f *FaultyConn) delaySeconds() float64 {
 //	truncate  → io.ErrUnexpectedEOF
 //	delay     → ErrLinkTimeout (the frame exists but missed its deadline)
 //	duplicate → ErrStaleFrame (the replayed copy desyncs the stream)
+//	jitter    → no error: the response arrives intact with JitterSeconds
+//	            added to its modelled compute time, so the verifier sees
+//	            an inflated RTT (and rejects on the time bound only when
+//	            the inflation actually exceeds δ)
 type FaultyLink struct {
 	agent ProverAgent
 	*faultState
@@ -444,6 +514,12 @@ func (l *FaultyLink) Respond(ch Challenge) (Response, float64, error) {
 		return Response{}, 0, Transport(fmt.Errorf("%w: +%.3gs", ErrLinkTimeout, l.plan.DelaySeconds))
 	case FaultDuplicate:
 		return Response{}, 0, Transport(ErrStaleFrame)
+	case FaultJitter:
+		resp, compute, err := l.agent.Respond(ch)
+		if err != nil {
+			return resp, compute, err
+		}
+		return resp, compute + l.plan.JitterSeconds, nil
 	}
 	resp, compute, err := l.agent.Respond(ch)
 	if err != nil {

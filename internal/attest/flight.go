@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"pufatt/internal/telemetry"
 )
@@ -34,6 +35,13 @@ func (t *Telemetry) FlightDir() string {
 	return t.flightDir
 }
 
+// flightSeq is the process-wide dump sequence. It used to live per
+// Telemetry bundle, which let two bundles pointed at the same directory
+// (one fleet's sweeps plus one server's sessions, say) both write
+// flight-0001-*.jsonl and silently clobber each other's post-mortems; a
+// single atomic counter makes every dump filename in the process unique.
+var flightSeq atomic.Uint64
+
 // flightDump snapshots the journal to <dir>/flight-<seq>-<trigger>.jsonl,
 // returning the path ("" when dumping is disabled). The dump header records
 // the trigger and the failing session's trace ID, so the file correlates
@@ -42,13 +50,11 @@ func (t *Telemetry) FlightDir() string {
 func (t *Telemetry) flightDump(trigger string, trace telemetry.TraceID) (string, error) {
 	t.flightMu.Lock()
 	dir := t.flightDir
+	t.flightMu.Unlock()
 	if dir == "" {
-		t.flightMu.Unlock()
 		return "", nil
 	}
-	t.flightSeq++
-	seq := t.flightSeq
-	t.flightMu.Unlock()
+	seq := flightSeq.Add(1)
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("attest: flight dump: %w", err)

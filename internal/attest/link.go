@@ -117,7 +117,7 @@ func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attemp
 
 	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ch.Bits()) + compute + link.TransferSeconds(resp.Bits())
-	res := v.Verify(ch, resp, elapsed)
+	res := v.verifyObserved(t, trace, ch, resp, elapsed)
 	spv.Finish()
 
 	// Segments: the modelled link and compute costs, laid end to end from

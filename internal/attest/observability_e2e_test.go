@@ -1,0 +1,290 @@
+package attest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pufatt/internal/telemetry"
+)
+
+// This file holds the end-to-end observability suite: a jittery prover
+// inflates round-trips past δ, and the full v3 chain is asserted — the
+// RTT history window carries a p99 exemplar trace ID, the flight recorder
+// dumps the rejected sessions, the journal correlates the exemplar back
+// to protocol events, the burn-rate alert fires on both windows, and
+// clean traffic resolves it again.
+
+// stepClock is a hand-advanced clock shared by the history store and the
+// alert manager, so window arithmetic in these tests is exact.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *stepClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// obsFixture is a fixture with a private, clock-controlled telemetry
+// bundle: nothing leaks into the package default registry, and every
+// Collect/Evaluate tick is driven by the test.
+type obsFixture struct {
+	*fixture
+	tel *Telemetry
+	clk *stepClock
+	dir string
+}
+
+const obsTick = 5 * time.Second
+
+func newObsFixture(t *testing.T, seed uint64) *obsFixture {
+	t.Helper()
+	f := newFixture(t, seed)
+	f.verifier.Device = "node-e2e"
+	tracer := telemetry.NewTracer(256)
+	tracer.SetIDSeed(seed)
+	tel := NewTelemetry(telemetry.NewRegistry(), tracer)
+	clk := &stepClock{t: time.Unix(50000, 0)}
+	tel.History.SetClock(clk.now)
+	tel.History.SetWindow(obsTick)
+	tel.Alerts.SetClock(clk.now)
+	dir := t.TempDir()
+	tel.SetFlightDir(dir)
+	return &obsFixture{fixture: f, tel: tel, clk: clk, dir: dir}
+}
+
+// tick advances the shared clock one collection interval, samples the
+// history, and evaluates the alert rules — one StartObservability beat,
+// made synchronous.
+func (o *obsFixture) tick() {
+	o.clk.advance(obsTick)
+	o.tel.ObserveFleet()
+}
+
+// sessions runs n sessions through the retry path (the failure boundary
+// that feeds device health and the flight recorder).
+func (o *obsFixture) sessions(t *testing.T, agent ProverAgent, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, _, err := o.tel.runSessionRetry(context.Background(), o.verifier, agent, DefaultLink(), RetryPolicy{}); err != nil {
+			t.Fatalf("session error: %v", err)
+		}
+	}
+}
+
+func (o *obsFixture) alert(t *testing.T, name string) telemetry.AlertStatus {
+	t.Helper()
+	for _, a := range o.tel.Alerts.Snapshot() {
+		if a.Rule.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("alert rule %q not registered", name)
+	return telemetry.AlertStatus{}
+}
+
+func TestObservabilityEndToEnd(t *testing.T) {
+	o := newObsFixture(t, 41)
+
+	// Calibrate the SLO off one honest session so the rules are tied to
+	// this fixture's actual timing, then shrink the burn windows to a few
+	// ticks: fast = 2 ticks, slow = 4 ticks (inclusive bounds).
+	res, _, err := o.tel.runSessionRetry(context.Background(), o.verifier, o.prover, DefaultLink(), RetryPolicy{})
+	if err != nil || !res.Accepted {
+		t.Fatalf("calibration session: accepted=%v err=%v", res.Accepted, err)
+	}
+	slo := o.tel.Health.SLO()
+	slo.MaxRTTP95 = res.Elapsed * 10 // honest traffic far below, jittered far above
+	o.tel.SetSLO(slo)
+	rules := DefaultAlertRules(slo)
+	for i := range rules {
+		rules[i].FastWindow = 2 * obsTick
+		rules[i].SlowWindow = 4 * obsTick
+	}
+	o.tel.Alerts.SetRules(rules)
+
+	// Phase 1 — honest traffic: no alert may fire.
+	for i := 0; i < 4; i++ {
+		o.sessions(t, o.prover, 4)
+		o.tick()
+	}
+	if n := o.tel.Alerts.Firing(); n != 0 {
+		t.Fatalf("honest traffic fired %d alerts", n)
+	}
+
+	// Phase 2 — a jittery link inflates every round-trip past δ: sessions
+	// complete but the verifier rejects on the time bound, the PUFatt
+	// signature of a proxied or overclocked prover.
+	jitter := NewFaultyLink(o.prover, FaultPlan{Jitter: 1, JitterSeconds: o.verifier.Delta()}, 7)
+	for i := 0; i < 5; i++ {
+		o.sessions(t, jitter, 4)
+		o.tick()
+	}
+
+	// The verdict counters saw the rejections as time-bound failures.
+	if v := o.tel.Sessions.With("rejected").Value(); v < 20 {
+		t.Fatalf("rejected sessions = %d, want >= 20", v)
+	}
+	if v := o.tel.Rejects.With("time_bound").Value(); v < 20 {
+		t.Fatalf("time_bound rejections = %d, want >= 20", v)
+	}
+
+	// The RTT history's latest window carries a p99 exemplar trace ID.
+	point, ok := o.tel.History.Latest("attest_rtt_seconds")
+	if !ok || point.Count == 0 {
+		t.Fatalf("no RTT history point (ok=%v count=%d)", ok, point.Count)
+	}
+	if point.Exemplar == 0 {
+		t.Fatal("RTT history point has no exemplar")
+	}
+	exemplar := telemetry.TraceID(point.Exemplar)
+
+	// The exemplar correlates to real protocol events in the journal…
+	events := o.tel.Journal.ByTrace(exemplar)
+	if len(events) == 0 {
+		t.Fatalf("journal holds no events for exemplar trace %s", exemplar)
+	}
+
+	// …and to a flight-recorder dump: every time-bound rejection dumped,
+	// and one of the dump headers names the exemplar's session.
+	dumps, err := filepath.Glob(filepath.Join(o.dir, "flight-*-rejected.jsonl"))
+	if err != nil || len(dumps) < 20 {
+		t.Fatalf("flight dumps = %d (err=%v), want >= 20", len(dumps), err)
+	}
+	foundDump := false
+	for _, dump := range dumps {
+		data, rerr := os.ReadFile(dump)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if strings.Contains(string(data), "trace="+exemplar.String()) {
+			foundDump = true
+			break
+		}
+	}
+	if !foundDump {
+		t.Fatalf("no flight dump carries exemplar trace %s", exemplar)
+	}
+
+	// Both burn windows are saturated: the timing and failure alerts fire.
+	for _, name := range []string{"rtt-p95-burn", "session-failure-burn"} {
+		if st := o.alert(t, name); st.State != telemetry.AlertFiring {
+			t.Fatalf("%s = %s after sustained jitter, want firing", name, st.State)
+		}
+	}
+	if v := o.tel.AlertsFiring.Value(); v < 2 {
+		t.Fatalf("attest_alerts_firing = %v, want >= 2", v)
+	}
+	if v := o.tel.AlertTransitions.With("firing").Value(); v < 2 {
+		t.Fatalf("firing transitions = %d, want >= 2", v)
+	}
+
+	// The admin surface serves the same story over HTTP.
+	srv := httptest.NewServer(AdminMux(o.tel))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/metrics/history?metric=attest_rtt_seconds": `"exemplar": "` + exemplar.String() + `"`,
+		"/alerts": `"name": "rtt-p95-burn", "state": "firing"`,
+	} {
+		resp, gerr := http.Get(srv.URL + path)
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		body := readAll(t, resp)
+		if !strings.Contains(body, want) {
+			t.Fatalf("%s missing %q:\n%s", path, want, body)
+		}
+	}
+
+	// Phase 3 — the link heals: once the bad points age out of the slow
+	// window the alerts resolve, and the resolution stays visible.
+	for i := 0; i < 6; i++ {
+		o.sessions(t, o.prover, 4)
+		o.tick()
+	}
+	if n := o.tel.Alerts.Firing(); n != 0 {
+		t.Fatalf("%d alerts still firing after recovery", n)
+	}
+	for _, name := range []string{"rtt-p95-burn", "session-failure-burn"} {
+		st := o.alert(t, name)
+		if st.State != telemetry.AlertResolved {
+			t.Fatalf("%s = %s after recovery, want resolved", name, st.State)
+		}
+		if st.Fired == 0 || st.LastResolved.IsZero() {
+			t.Fatalf("%s lost its firing record: %+v", name, st)
+		}
+	}
+	if v := o.tel.AlertsFiring.Value(); v != 0 {
+		t.Fatalf("attest_alerts_firing = %v after recovery, want 0", v)
+	}
+
+	// The full lifecycle landed in the journal as typed alert events.
+	firing, resolved := 0, 0
+	for _, ev := range o.tel.Journal.Recent() {
+		if ev.Kind != telemetry.EventAlert {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ev.Detail, "firing"):
+			firing++
+		case strings.HasPrefix(ev.Detail, "resolved"):
+			resolved++
+		}
+	}
+	if firing < 2 || resolved < 2 {
+		t.Fatalf("journal alert events: %d firing, %d resolved, want >= 2 each", firing, resolved)
+	}
+}
+
+// TestObservabilityHonestBaseline pins the negative: a healthy fixture
+// never fires, never dumps, and still produces history with exemplars.
+func TestObservabilityHonestBaseline(t *testing.T) {
+	o := newObsFixture(t, 43)
+	for i := 0; i < 6; i++ {
+		o.sessions(t, o.prover, 3)
+		o.tick()
+	}
+	if n := o.tel.Alerts.Firing(); n != 0 {
+		t.Fatalf("honest baseline fired %d alerts", n)
+	}
+	dumps, _ := filepath.Glob(filepath.Join(o.dir, "flight-*.jsonl"))
+	if len(dumps) != 0 {
+		t.Fatalf("honest baseline wrote %d flight dumps", len(dumps))
+	}
+	point, ok := o.tel.History.Latest("attest_rtt_seconds")
+	if !ok || point.Count == 0 || point.Exemplar == 0 {
+		t.Fatalf("honest history point = %+v ok=%v, want counted point with exemplar", point, ok)
+	}
+	if got := o.tel.Sessions.With("accepted").Value(); got != 18 {
+		t.Fatalf("accepted sessions = %d, want 18", got)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -432,6 +433,54 @@ func TestTCPFaultRecovery(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestTCPJitterInflatesRTT: over the real transport the timing decision is
+// modelled, not wall-clock, so a jitter fault's sleep alone cannot trip the
+// time bound — the injected latency must be folded into the modelled
+// elapsed. A jitter above δ yields a completed-but-rejected session (a
+// verdict, so no retry is consumed); a jitter far below δ stays accepted.
+func TestTCPJitterInflatesRTT(t *testing.T) {
+	f := newFixture(t, 26)
+	addr, _, _ := startServer(t, f.prover, 2*time.Second)
+	run := func(t *testing.T, jitterSecs float64) (Result, int) {
+		t.Helper()
+		inj := NewFaultInjector(FaultPlan{Jitter: 1, JitterSeconds: jitterSecs, MaxFaults: 1}, 42)
+		dial := func() (net.Conn, error) {
+			c, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				return nil, err
+			}
+			return inj.Wrap(c), nil
+		}
+		policy := RetryPolicy{MaxAttempts: 4, AttemptTimeout: 2 * time.Second}
+		res, attempts, err := RequestWithRetry(context.Background(), dial, f.verifier, DefaultLink(), policy)
+		if err != nil {
+			t.Fatalf("jittered session errored: %v", err)
+		}
+		if inj.Injected() != 1 {
+			t.Fatalf("injected = %d, want exactly 1", inj.Injected())
+		}
+		return res, attempts
+	}
+	t.Run("above-delta-rejected", func(t *testing.T) {
+		res, attempts := run(t, 2*f.verifier.Delta())
+		if res.Accepted {
+			t.Fatalf("jitter of 2δ accepted (elapsed %.4gs, δ %.4gs)", res.Elapsed, res.Delta)
+		}
+		if !strings.Contains(res.Reason, "time bound") {
+			t.Fatalf("reason = %q, want time bound", res.Reason)
+		}
+		if attempts != 1 {
+			t.Fatalf("rejected verdict consumed retries (attempts=%d)", attempts)
+		}
+	})
+	t.Run("below-delta-accepted", func(t *testing.T) {
+		res, _ := run(t, f.verifier.Delta()/100)
+		if !res.Accepted {
+			t.Fatalf("tiny jitter rejected: %s", res.Reason)
+		}
+	})
 }
 
 // TestTCPDuplicateDesyncClassified shows the harmful face of duplication:

@@ -172,7 +172,14 @@ func requestTraced(ctx context.Context, conn io.ReadWriter, v *Verifier, link Li
 		fmt.Sprintf("helpers=%d compute=%.4gs", len(resp.Helpers), compute))
 	spv := sp.Child("verify")
 	elapsed := link.TransferSeconds(ChallengeBits) + compute + link.TransferSeconds(resp.Bits())
-	res := v.Verify(ch, resp, elapsed)
+	// An injected jitter fault delivers frames intact but late. The wall
+	// clock saw that latency but the timing decision is modelled (see the
+	// timing note above), so a jitter-injecting conn reports the added
+	// seconds here to be folded into the round trip it inflated.
+	if j, ok := conn.(interface{ InjectedRTTSeconds() float64 }); ok {
+		elapsed += j.InjectedRTTSeconds()
+	}
+	res := v.verifyObserved(tel, trace, ch, resp, elapsed)
 	spv.Finish()
 
 	// Segments for the modelled portions of the round trip (the local

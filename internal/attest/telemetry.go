@@ -3,6 +3,7 @@ package attest
 import (
 	"strings"
 	"sync"
+	"time"
 
 	"pufatt/internal/telemetry"
 )
@@ -33,6 +34,14 @@ type Telemetry struct {
 	// Health is the per-device health registry judged against its SLO,
 	// served at /devices and /healthz.
 	Health *telemetry.HealthRegistry
+	// History is the bounded time-series store over this bundle's registry:
+	// one windowed sample per live series per Collect, served at
+	// /metrics/history. Collection is driven by StartObservability (or an
+	// explicit ObserveFleet in tests).
+	History *telemetry.TimeSeries
+	// Alerts evaluates SLO burn-rate rules against History and journals
+	// firing/resolution transitions; served at /alerts.
+	Alerts *telemetry.AlertManager
 
 	// Frame codec.
 	FramesSent     *telemetry.CounterVec // attest_frames_sent_total{type}
@@ -74,10 +83,15 @@ type Telemetry struct {
 	// Device health.
 	StatusTransitions *telemetry.CounterVec // attest_device_status_transitions_total{to}
 
-	// Flight-recorder state (see flight.go).
+	// SLO burn-rate alerting (PR 7).
+	AlertTransitions *telemetry.CounterVec // attest_alert_transitions_total{event}
+	AlertsFiring     *telemetry.Gauge      // attest_alerts_firing
+
+	// Flight-recorder state (see flight.go). The dump sequence number is
+	// process-wide (flight.go), not per-bundle, so bundles sharing a
+	// directory can never collide on a filename.
 	flightMu  sync.Mutex
 	flightDir string
-	flightSeq uint64
 }
 
 // NewTelemetry registers the attestation instrument set on the registry
@@ -143,7 +157,13 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 
 		StatusTransitions: reg.CounterVec("attest_device_status_transitions_total",
 			"Device health status transitions, by resulting status.", "to"),
+
+		AlertTransitions: reg.CounterVec("attest_alert_transitions_total",
+			"SLO burn-rate alert lifecycle transitions, by event (firing, resolved).", "event"),
+		AlertsFiring: reg.Gauge("attest_alerts_firing",
+			"Burn-rate alerts currently firing."),
 	}
+	t.History = telemetry.NewTimeSeries(reg, 0, 0)
 	// The tracer and journal cannot self-register (they may outlive any one
 	// registry), so this bundle attaches their drop tallies; the most
 	// recently built bundle owns a shared tracer's counter.
@@ -153,7 +173,106 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 		t.StatusTransitions.With(tr.To.String()).Inc()
 	})
 	t.Health.SetBudgetLowGauge(t.BudgetLowDevices)
+	t.Alerts = telemetry.NewAlertManager(t.History, t.Journal)
+	t.Alerts.SetRules(DefaultAlertRules(telemetry.DefaultSLO()))
+	t.Alerts.OnTransition(func(name string, firing bool) {
+		event := "resolved"
+		if firing {
+			event = "firing"
+		}
+		t.AlertTransitions.With(event).Inc()
+		t.AlertsFiring.Set(float64(t.Alerts.Firing()))
+	})
 	return t
+}
+
+// Default burn-rate windows: the fast window pages on a hard outage within
+// a minute of samples; the slow window keeps one bad collection from
+// paging on its own.
+const (
+	DefaultAlertFastWindow = time.Minute
+	DefaultAlertSlowWindow = 5 * time.Minute
+)
+
+// DefaultAlertRules derives the standard attestation alert set from an
+// SLO: session failure rate, FNR-shaped (tag-mismatch) rejections, the RTT
+// timing bound, and the seed-budget watermark. Rules whose SLO threshold
+// is unset (zero) are omitted — an RTT rule with no bound would page on
+// every sample. Budgets reuse the SLO's tolerated rates, so burn 1.0 means
+// "failing exactly at the SLO limit".
+func DefaultAlertRules(slo telemetry.SLO) []telemetry.Rule {
+	var rules []telemetry.Rule
+	if slo.MaxFailureRate > 0 {
+		rules = append(rules, telemetry.Rule{
+			Name: "session-failure-burn", Kind: telemetry.RuleRatio,
+			Metric:      `attest_sessions_total{verdict="rejected"}`,
+			TotalMetric: "attest_sessions_total",
+			Budget:      slo.MaxFailureRate,
+			FastWindow:  DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
+		})
+	}
+	if slo.MaxFNR > 0 {
+		rules = append(rules, telemetry.Rule{
+			Name: "fnr-burn", Kind: telemetry.RuleRatio,
+			Metric:      `attest_rejections_total{reason="tag_mismatch"}`,
+			TotalMetric: "attest_sessions_total",
+			Budget:      slo.MaxFNR,
+			FastWindow:  DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
+		})
+	}
+	if slo.MaxRTTP95 > 0 {
+		rules = append(rules, telemetry.Rule{
+			Name: "rtt-p95-burn", Kind: telemetry.RuleQuantile,
+			Metric: "attest_rtt_seconds", Quantile: 0.95, Threshold: slo.MaxRTTP95,
+			FastWindow: DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
+		})
+	}
+	rules = append(rules, telemetry.Rule{
+		Name: "seed-budget-low", Kind: telemetry.RuleGaugeAbove,
+		Metric: "attest_seed_budget_low_devices", Threshold: 0,
+		FastWindow: DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
+	})
+	return rules
+}
+
+// SetSLO re-judges health against the SLO AND re-derives the burn-rate
+// alert rules from it, keeping the two views of "what healthy means"
+// consistent. Alert state for rules that keep their name survives.
+func (t *Telemetry) SetSLO(slo telemetry.SLO) {
+	t.Health.SetSLO(slo)
+	t.Alerts.SetRules(DefaultAlertRules(slo))
+}
+
+// ObserveFleet takes one observability sample: collect a history window,
+// then re-evaluate the burn-rate alerts over it. Control-plane work —
+// never called from the attestation hot path.
+func (t *Telemetry) ObserveFleet() {
+	t.History.Collect()
+	t.Alerts.Evaluate()
+}
+
+// StartObservability samples the fleet every interval (<=0 means the
+// history store's nominal window) until the returned stop function is
+// called.
+func (t *Telemetry) StartObservability(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = t.History.Window()
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t.ObserveFleet()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // tel is the package-default telemetry: every instrument registered on the
@@ -218,9 +337,11 @@ func frameTypeName(ftype byte) string {
 }
 
 // observeSession records a completed session's verdict and round-trip
-// time, and annotates the session span when one is active.
-func (t *Telemetry) observeSession(res Result) {
-	t.RTT.Observe(res.Elapsed)
+// time. The session's trace ID rides along as the RTT histogram's bucket
+// exemplar (one atomic store — nothing allocated on the hot path), so a
+// latency spike in /metrics/history links straight to the recorded trace.
+func (t *Telemetry) observeSession(res Result, trace telemetry.TraceID) {
+	t.RTT.ObserveExemplar(res.Elapsed, uint64(trace))
 	if res.Accepted {
 		t.Sessions.With("accepted").Inc()
 	} else {

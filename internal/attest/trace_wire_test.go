@@ -304,8 +304,13 @@ func TestFlightDumpCarriesSessionTrace(t *testing.T) {
 		t.Fatalf("report = %s, want node unreachable", report.String())
 	}
 
-	path := filepath.Join(dir, "flight-0001-transport.jsonl")
-	data, err := os.ReadFile(path)
+	// The dump sequence is process-wide (collision-proof across bundles),
+	// so the filename's number depends on test order: glob for the trigger.
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*-transport.jsonl"))
+	if err != nil || len(dumps) != 1 {
+		t.Fatalf("flight dumps = %v (err %v), want exactly one transport dump", dumps, err)
+	}
+	data, err := os.ReadFile(dumps[0])
 	if err != nil {
 		t.Fatalf("flight dump not written: %v", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"pufatt/internal/core"
 	"pufatt/internal/ecc"
 	"pufatt/internal/swatt"
+	"pufatt/internal/telemetry"
 )
 
 // Result records one attestation decision.
@@ -136,8 +137,16 @@ func (v *Verifier) NewSession() (Challenge, error) {
 // histogram and the per-verdict session counters — the timing distribution
 // IS the security argument (Section 4), so it is always measured.
 func (v *Verifier) Verify(ch Challenge, resp Response, elapsed float64) Result {
+	return v.verifyObserved(tel, 0, ch, resp, elapsed)
+}
+
+// verifyObserved is Verify against an explicit telemetry bundle, recording
+// the verdict (and the session's trace ID as the RTT exemplar) into that
+// bundle's instruments — so a test's private bundle sees its own sessions,
+// and history exemplars point at the right tracer.
+func (v *Verifier) verifyObserved(t *Telemetry, trace telemetry.TraceID, ch Challenge, resp Response, elapsed float64) Result {
 	res := v.verify(ch, resp, elapsed)
-	tel.observeSession(res)
+	t.observeSession(res, trace)
 	return res
 }
 

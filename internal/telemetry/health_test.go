@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -317,5 +319,85 @@ func TestHealthBudgetLowGaugeTracksDevices(t *testing.T) {
 	h.ObserveSeedClaim("b", 9)
 	if g.Value() != 0 {
 		t.Fatalf("gauge = %v after recovery, want 0", g.Value())
+	}
+}
+
+// TestHealthSnapshotConsistencyUnderTransitions hammers the registry with
+// writers driving devices through status transitions while readers take
+// snapshots. Every snapshot must be internally consistent — lifetime
+// counters that add up, transitions in sequence order, and a summary whose
+// per-status counts cover every device — no matter when it was cut.
+func TestHealthSnapshotConsistencyUnderTransitions(t *testing.T) {
+	h := NewHealthRegistry(healthSLO())
+	const devices = 4
+	const perWriter = 200
+
+	done := make(chan struct{})
+	var writers sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		writers.Add(1)
+		go func(d int) {
+			defer writers.Done()
+			name := fmt.Sprintf("dev-%d", d)
+			for i := 0; i < perWriter; i++ {
+				// Alternate clean and dirty stretches so statuses keep
+				// flipping between ok, degraded, and suspect.
+				obs := SessionObservation{Outcome: OutcomeAccepted, RTT: 0.010}
+				switch {
+				case i/20%2 == 1 && i%2 == 0:
+					obs = SessionObservation{Outcome: OutcomeRejected, RTT: 0.010, RejectClass: "tag_mismatch"}
+				case i%7 == 3:
+					obs = SessionObservation{Outcome: OutcomeTransport, Retries: 1}
+				}
+				h.Observe(name, obs)
+			}
+		}(d)
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, d := range h.Snapshot() {
+					if d.Sessions != d.Accepted+d.Rejected {
+						t.Errorf("%s: sessions %d != accepted %d + rejected %d",
+							d.Device, d.Sessions, d.Accepted, d.Rejected)
+					}
+					if d.WindowRecords < 0 || d.FailureRate < 0 || d.FailureRate > 1 {
+						t.Errorf("%s: window rates out of range: %+v", d.Device, d)
+					}
+					if d.Status != StatusOK && d.Sessions+d.Transport > 0 && len(d.Reasons) == 0 {
+						t.Errorf("%s: status %s with no reasons", d.Device, d.Status)
+					}
+					for i := 1; i < len(d.Transitions); i++ {
+						if d.Transitions[i].Seq <= d.Transitions[i-1].Seq {
+							t.Errorf("%s: transitions out of order: %+v", d.Device, d.Transitions)
+						}
+					}
+				}
+				sum := h.Summary()
+				if sum.OK+sum.Degraded+sum.AwaitingReenroll+sum.Suspect != sum.Devices {
+					t.Errorf("summary does not partition devices: %+v", sum)
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	// After the dust settles, every device holds its full lifetime tally.
+	for _, d := range h.Snapshot() {
+		if got := d.Sessions + d.Transport; got != perWriter {
+			t.Errorf("%s: lifetime sessions+transport = %d, want %d", d.Device, got, perWriter)
+		}
 	}
 }

@@ -40,6 +40,7 @@ const (
 	EventFaultInjected                     // deterministic harness fired
 	EventQuarantine                        // circuit-breaker transition
 	EventEpoch                             // epoch lifecycle: exhaustion, re-enrollment, cutover
+	EventAlert                             // SLO burn-rate alert fired or resolved
 
 	numEventKinds
 )
@@ -67,6 +68,8 @@ func (k EventKind) String() string {
 		return "quarantine"
 	case EventEpoch:
 		return "epoch"
+	case EventAlert:
+		return "alert"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

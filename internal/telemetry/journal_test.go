@@ -132,6 +132,7 @@ func TestEventKindNamesStable(t *testing.T) {
 		EventVerifyOutcome: "verify_outcome", EventRetry: "retry",
 		EventBackoff: "backoff", EventFaultInjected: "fault_injected",
 		EventQuarantine: "quarantine", EventEpoch: "epoch",
+		EventAlert: "alert",
 	}
 	for k := EventKind(0); k < numEventKinds; k++ {
 		if k.String() != want[k] {

@@ -72,6 +72,12 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64
 	total   atomic.Uint64
+	// exemplars[i] holds the most recent exemplar (a trace ID) observed
+	// into bucket i; zero means none. One atomic store per observation —
+	// the capture is O(1) and allocation-free, so a latency spike at any
+	// quantile links directly to a recorded trace without sampling
+	// machinery.
+	exemplars []atomic.Uint64
 }
 
 // DefBuckets is the default latency bucket layout (seconds): microseconds
@@ -95,8 +101,9 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
 	}
 }
 
@@ -106,6 +113,69 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	addFloat(&h.sumBits, v)
 	h.total.Add(1)
+}
+
+// ObserveExemplar records one value and retains exemplar (a trace ID) as
+// the owning bucket's most recent exemplar. A zero exemplar degrades to a
+// plain Observe. The cost over Observe is a single atomic store.
+func (h *Histogram) ObserveExemplar(v float64, exemplar uint64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	if exemplar != 0 {
+		h.exemplars[i].Store(exemplar)
+	}
+	addFloat(&h.sumBits, v)
+	h.total.Add(1)
+}
+
+// NumBuckets returns the bucket count including the +Inf tail.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// BucketExemplar returns the most recent exemplar observed into bucket i
+// (0 when the bucket never saw one).
+func (h *Histogram) BucketExemplar(i int) uint64 {
+	if i < 0 || i >= len(h.exemplars) {
+		return 0
+	}
+	return h.exemplars[i].Load()
+}
+
+// QuantileExemplar returns the most recent exemplar from the bucket that
+// owns the q-th quantile — the trace to pull when that quantile spikes.
+// Zero when the histogram is empty or the owning bucket has no exemplar.
+func (h *Histogram) QuantileExemplar(q float64) uint64 {
+	i, ok := h.quantileBucket(q)
+	if !ok {
+		return 0
+	}
+	return h.exemplars[i].Load()
+}
+
+// quantileBucket returns the index of the bucket owning the q-th quantile.
+func (h *Histogram) quantileBucket(q float64) (int, bool) {
+	total := h.total.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			return i, true
+		}
+		cum += n
+	}
+	return len(h.counts) - 1, true
 }
 
 // StartTimer returns a stop function that observes the elapsed time in

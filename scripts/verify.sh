@@ -45,4 +45,7 @@ go test -race -run TestParallelDeterminism ./internal/core/... ./internal/experi
 echo "== go test -race epoch lifecycle suite (cutover kill-and-recover, concurrent re-enrollment vs live claims)"
 go test -race -run 'Epoch|Reenroll|Exhaust|Kill|WALClaimsSplit' ./internal/crp/store ./internal/attest ./internal/core
 
+echo "== go test -race observability v3 suite (history/alert/federation, admin under load, flight-dump uniqueness)"
+go test -race -run 'TimeSeries|Alert|Federat|Observability|DebugVars|ConcurrentFlightDump|HealthSnapshotConsistency|AdminRoute' ./internal/telemetry ./internal/attest ./cmd/pufatt-top
+
 echo "verify: OK"
