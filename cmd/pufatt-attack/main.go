@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"pufatt/internal/buildinfo"
+	"pufatt/internal/core"
 	"pufatt/internal/experiments"
 )
 
@@ -20,10 +21,17 @@ func main() {
 		games   = flag.Bool("games", false, "also run the game-based soundness experiments")
 		trials  = flag.Int("trials", 25, "trials per strategy for -games")
 		workers = flag.Int("workers", 0, "PUF batch-evaluation workers (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "bitslice", "PUF evaluation engine: gate, bitslice, or linear (linear = fast approximate model, e.g. for ML training-set generation)")
 	)
 	version := buildinfo.VersionFlags("pufatt-attack")
 	flag.Parse()
 	version()
+	eng, err := core.ParseEvalEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pufatt-attack:", err)
+		os.Exit(2)
+	}
+	core.SetDefaultEvalEngine(eng)
 	cfg := experiments.DefaultSecurityConfig(*seed)
 	cfg.Workers = *workers
 	if *fast {

@@ -30,10 +30,24 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "experiment seed")
 		hist    = flag.Bool("hist", false, "print full histograms")
 		workers = flag.Int("workers", 0, "PUF batch-evaluation workers (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "bitslice", "PUF evaluation engine: gate, bitslice, or linear")
 	)
 	version := buildinfo.VersionFlags("pufatt-eval")
 	flag.Parse()
 	version()
+	eng, err := core.ParseEvalEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pufatt-eval: %v\n", err)
+		os.Exit(2)
+	}
+	if eng == core.EngineLinear && *exp != "security" {
+		// The figure experiments are gate-level measurements by definition:
+		// the linear fast model approximates them (~93-95 % bit agreement)
+		// and would silently corrupt the reproduced numbers.
+		fmt.Fprintln(os.Stderr, "pufatt-eval: -engine linear is an approximation and is only valid for -exp security (attack training-set generation); use gate or bitslice for figure experiments")
+		os.Exit(2)
+	}
+	core.SetDefaultEvalEngine(eng)
 	run := func(name string, fn func() (string, error)) {
 		if *exp != "all" && *exp != name {
 			return

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pufatt/internal/delay"
 	"pufatt/internal/rng"
 	"pufatt/internal/sim"
 )
@@ -35,9 +36,16 @@ const batchChunk = 32
 // the Device.RawResponses family, which manages one lazily); it must not be
 // used concurrently with other evaluations on the same device, but its own
 // workers coordinate internally.
+//
+// Which physics engine runs underneath — scalar gate-level, 64-lane
+// bitsliced gate-level (the default), or the linear-delay fast model — is
+// selected per batch via Device.EvalEngine (see engine.go). The two
+// gate-level engines are bit-identical; all three honour the same
+// determinism contract (per-item noise streams, any worker count).
 type BatchEvaluator struct {
-	dev  *Device
-	pool *sim.Pool
+	dev   *Device
+	pool  *sim.Pool       // scalar engines (EngineGate)
+	spool *sim.SlicedPool // bitsliced engines (EngineBitslice), lazy
 }
 
 // NewBatchEvaluator returns a batch evaluator over the device.
@@ -156,8 +164,8 @@ func (be *BatchEvaluator) run(challenges, dst [][]uint8, workers, votes int, noi
 	}
 
 	// Per-batch constants, all read-only under the workers.
+	engine := dev.EvalEngine()
 	tab := dev.tables[dev.cond]
-	be.pool.SetDelays(tab)
 	jitter := 0.0
 	if noisy {
 		jitter = dev.design.cfg.JitterPs * dev.jitterScale
@@ -165,10 +173,40 @@ func (be *BatchEvaluator) run(challenges, dst [][]uint8, workers, votes int, noi
 	noiseBase := dev.noise.Sub(fmt.Sprintf("batch/%d", epoch))
 
 	start := time.Now()
+	switch engine {
+	case EngineBitslice:
+		be.runSliced(challenges, dst, workers, votes, noisy, jitter, noiseBase, tab)
+	case EngineLinear:
+		be.runLinear(challenges, dst, workers, votes, noisy, jitter, noiseBase)
+	default:
+		be.runGate(challenges, dst, workers, votes, noisy, jitter, noiseBase, tab)
+	}
+
+	dev.queries += uint64(len(challenges) * votes)
+	batchBatches.Inc()
+	batchItems.Add(uint64(len(challenges)))
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 && engine != EngineLinear {
+		// Effective lane-evals: one gate-level pass per item either way —
+		// the bitsliced engine just evaluates up to 64 items per block, so
+		// items × gates stays the effective-work numerator across engines.
+		gates := float64(len(challenges)) * float64(be.pool.GatesPerRun())
+		batchGateEvalRate.Set(gates / elapsed)
+	}
+	return dst
+}
+
+// runGate is the scalar gate-level fan-out: chunks of whole items across
+// cloned scalar engines.
+func (be *BatchEvaluator) runGate(challenges, dst [][]uint8, workers, votes int, noisy bool, jitter float64, noiseBase *rng.Source, tab delay.Table) {
+	dev := be.dev
+	bits := dev.design.ResponseBits()
+	be.pool.SetDelays(tab)
 	var next atomic.Int64
 	work := func(eng *sim.Engine) {
 		var noise rng.Source
 		counts := make([]int, bits)
+		deltas := make([]float64, bits)
+		nbuf := make([]float64, bits)
 		for {
 			lo := int(next.Add(batchChunk)) - batchChunk
 			if lo >= len(challenges) {
@@ -182,7 +220,7 @@ func (be *BatchEvaluator) run(challenges, dst [][]uint8, workers, votes int, noi
 				if noisy {
 					noise.Reinit(noiseBase.SubSeedN("item", k))
 				}
-				evalOne(dev, eng, challenges[k], dst[k], counts, &noise, jitter, votes, noisy)
+				evalOne(dev, eng, challenges[k], dst[k], counts, deltas, nbuf, &noise, jitter, votes, noisy)
 			}
 		}
 	}
@@ -206,74 +244,266 @@ func (be *BatchEvaluator) run(challenges, dst [][]uint8, workers, votes int, noi
 		}
 		wg.Wait()
 	}
+}
 
-	dev.queries += uint64(len(challenges) * votes)
-	batchBatches.Inc()
-	batchItems.Add(uint64(len(challenges)))
-	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
-		// One engine pass per item (votes share a deterministic pass).
-		gates := float64(len(challenges)) * float64(be.pool.GatesPerRun())
-		batchGateEvalRate.Set(gates / elapsed)
+// slicedPool returns the lazily created bitsliced engine pool.
+func (be *BatchEvaluator) slicedPool() *sim.SlicedPool {
+	if be.spool == nil {
+		be.spool = sim.NewSlicedPool(be.dev.design.datapath.Net, be.dev.tables[be.dev.cond])
 	}
-	return dst
+	return be.spool
+}
+
+// runSliced is the bitsliced fan-out: workers claim whole 64-lane blocks,
+// transpose the block's challenges into lane words, run one levelized pass
+// for all lanes, extract per-lane arbiter deltas, then draw each item's
+// noise from its own stream in exactly the scalar order — so the result is
+// bit-identical to runGate at every worker count.
+func (be *BatchEvaluator) runSliced(challenges, dst [][]uint8, workers, votes int, noisy bool, jitter float64, noiseBase *rng.Source, tab delay.Table) {
+	dev := be.dev
+	bits := dev.design.ResponseBits()
+	nIn := 2 * dev.design.cfg.Width
+	blocks := (len(challenges) + sim.Lanes - 1) / sim.Lanes
+	if workers > blocks {
+		workers = blocks
+	}
+	pool := be.slicedPool()
+	pool.SetDelays(tab)
+	var next atomic.Int64
+	work := func(eng *sim.SlicedEngine) {
+		var noise rng.Source
+		counts := make([]int, bits)
+		inWords := make([]uint64, nIn)
+		deltas := make([]float64, bits*sim.Lanes)
+		nbuf := make([]float64, bits)
+		var bcast [2][sim.Lanes]float64
+		for {
+			blk := int(next.Add(1)) - 1
+			if blk >= blocks {
+				return
+			}
+			lo := blk * sim.Lanes
+			lanes := len(challenges) - lo
+			if lanes > sim.Lanes {
+				lanes = sim.Lanes
+			}
+			// Transpose: bit l of input word j is challenge lo+l's bit j.
+			// Lane-outer order reads each challenge row sequentially and
+			// keeps the word vector L1-resident. Tail lanes of a short
+			// block stay zero (computed, never read).
+			for j := range inWords {
+				inWords[j] = 0
+			}
+			for l := 0; l < lanes; l++ {
+				row := challenges[lo+l][:nIn]
+				for j, bit := range row {
+					inWords[j] |= uint64(bit&1) << l
+				}
+			}
+			eng.RunBlock(inWords, lanes)
+			extractLaneDeltas(dev, eng, deltas, &bcast)
+			for l := 0; l < lanes; l++ {
+				k := lo + l
+				if noisy {
+					noise.Reinit(noiseBase.SubSeedN("item", k))
+				}
+				respondFromDeltas(dst[k], counts, deltas, nbuf, sim.Lanes, l, &noise, jitter, votes, noisy)
+			}
+		}
+	}
+	if workers == 1 {
+		eng := pool.Get()
+		work(eng)
+		pool.Put(eng)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				batchWorkersBusy.Add(1)
+				defer batchWorkersBusy.Add(-1)
+				eng := pool.Get()
+				defer pool.Put(eng)
+				work(eng)
+			}()
+		}
+		wg.Wait()
+	}
+	bitsliceLanesBusy.Set(float64(len(challenges)) / float64(blocks))
+}
+
+// extractLaneDeltas mirrors Device.arrivalDelta per lane, in the same
+// floating-point operation order (arr1 + skew − arr0, then += extra), so the
+// deltas are bit-identical to the scalar path. Pair nets whose arrival is
+// challenge-independent (a sum fed by the constant carry-in) are broadcast
+// into scratch rows.
+func extractLaneDeltas(dev *Device, eng *sim.SlicedEngine, deltas []float64, bcast *[2][sim.Lanes]float64) {
+	bits := dev.design.ResponseBits()
+	for i := 0; i < bits; i++ {
+		a0, a1 := dev.design.datapath.Pair(i)
+		skew := dev.design.skewPs[i]
+		l0 := eng.ArrivalLanes(a0)
+		if l0 == nil {
+			c := eng.ConstArrival(a0)
+			for l := range bcast[0] {
+				bcast[0][l] = c
+			}
+			l0 = bcast[0][:]
+		}
+		l1 := eng.ArrivalLanes(a1)
+		if l1 == nil {
+			c := eng.ConstArrival(a1)
+			for l := range bcast[1] {
+				bcast[1][l] = c
+			}
+			l1 = bcast[1][:]
+		}
+		row := deltas[i*sim.Lanes : i*sim.Lanes+sim.Lanes]
+		if dev.extraSkewPs != nil {
+			extra := dev.extraSkewPs[i]
+			for l := 0; l < sim.Lanes; l++ {
+				d := l1[l] + skew - l0[l]
+				d += extra
+				row[l] = d
+			}
+		} else {
+			for l := 0; l < sim.Lanes; l++ {
+				row[l] = l1[l] + skew - l0[l]
+			}
+		}
+	}
+}
+
+// runLinear evaluates the batch through the device's fitted linear-delay
+// fast model (refitting lazily if the physics moved): no gate-level engine,
+// just a windowed dot product per bit plus the standard noise pipeline.
+func (be *BatchEvaluator) runLinear(challenges, dst [][]uint8, workers, votes int, noisy bool, jitter float64, noiseBase *rng.Source) {
+	dev := be.dev
+	bits := dev.design.ResponseBits()
+	model := dev.linearModel()
+	var next atomic.Int64
+	work := func() {
+		var noise rng.Source
+		counts := make([]int, bits)
+		deltas := make([]float64, bits)
+		nbuf := make([]float64, bits)
+		for {
+			lo := int(next.Add(batchChunk)) - batchChunk
+			if lo >= len(challenges) {
+				return
+			}
+			hi := lo + batchChunk
+			if hi > len(challenges) {
+				hi = len(challenges)
+			}
+			for k := lo; k < hi; k++ {
+				model.DeltasInto(challenges[k], deltas)
+				if noisy {
+					noise.Reinit(noiseBase.SubSeedN("item", k))
+				}
+				respondFromDeltas(dst[k], counts, deltas, nbuf, 1, 0, &noise, jitter, votes, noisy)
+			}
+		}
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				batchWorkersBusy.Add(1)
+				defer batchWorkersBusy.Add(-1)
+				work()
+			}()
+		}
+		wg.Wait()
+	}
 }
 
 // evalOne measures one challenge into out using the worker-local engine,
-// vote counter, and (already reinitialised) noise stream. It is the batch
-// analogue of Device.RawResponse/NoiselessResponse/MajorityResponse and
-// must stay in lockstep with them physically: same arrival deltas, same
-// jitter model, same majority rule.
-func evalOne(dev *Device, eng *sim.Engine, challenge, out []uint8, counts []int, noise *rng.Source, jitter float64, votes int, noisy bool) {
-	if !noisy {
-		_, arr := eng.Run(challenge)
-		for i := range out {
-			if dev.arrivalDelta(arr, i) > 0 {
-				out[i] = 1
-			} else {
-				out[i] = 0
-			}
-		}
-		return
-	}
-	if votes == 1 {
-		_, arr := eng.Run(challenge)
-		for i := range out {
-			d := dev.arrivalDelta(arr, i)
-			if jitter > 0 {
-				d += noise.NormMS(0, jitter)
-			}
-			if d > 0 {
-				out[i] = 1
-			} else {
-				out[i] = 0
-			}
-		}
-		return
-	}
-	// The levelized engine is deterministic, so one Run serves every vote:
-	// only the per-vote arbiter noise differs. (The sequential
-	// MajorityResponse re-runs the engine per vote; the physics is
-	// identical, this just skips votes-1 redundant passes.)
+// vote counter, delta scratch, and (already reinitialised) noise stream. It
+// is the batch analogue of Device.RawResponse/NoiselessResponse/
+// MajorityResponse and must stay in lockstep with them physically: same
+// arrival deltas, same jitter model, same majority rule. It runs one
+// levelized pass, extracts the per-bit deltas, and hands them to the shared
+// noise/threshold stage — the same stage the bitsliced and linear paths
+// feed, which is what makes all engines' noisy outputs comparable
+// term-for-term.
+func evalOne(dev *Device, eng *sim.Engine, challenge, out []uint8, counts []int, deltas, nbuf []float64, noise *rng.Source, jitter float64, votes int, noisy bool) {
 	_, arr := eng.Run(challenge)
+	for i := range deltas {
+		deltas[i] = dev.arrivalDelta(arr, i)
+	}
+	respondFromDeltas(out, counts, deltas, nbuf, 1, 0, noise, jitter, votes, noisy)
+}
+
+// respondFromDeltas turns precomputed arrival deltas into response bits:
+// per-bit jitter draws (in ascending bit order, the scalar draw order) and
+// thresholding, or votes-fold majority with noise redrawn per vote. Bit i's
+// delta is deltas[i*stride+lane]: stride 1 for scalar layouts, sim.Lanes for
+// lane-major bitsliced blocks. The engine pass behind the deltas is
+// deterministic, so one pass serves every vote — only the arbiter noise
+// differs (the sequential MajorityResponse re-runs the engine per vote; the
+// physics is identical, this just skips votes−1 redundant passes).
+//
+// The jitter draws are buffered into nbuf (len = response bits) before the
+// threshold pass: the draw order is unchanged, but the Norm calls run in a
+// loop with nothing else live, and the add/compare loop runs call-free —
+// measurably faster than interleaving a function call between every
+// comparison on the batch hot path.
+func respondFromDeltas(out []uint8, counts []int, deltas, nbuf []float64, stride, lane int, noise *rng.Source, jitter float64, votes int, noisy bool) {
+	if noisy && jitter > 0 && votes == 1 {
+		for i := range nbuf {
+			nbuf[i] = noise.NormMS(0, jitter)
+		}
+		idx := lane
+		for i := range out {
+			var bit uint8
+			if deltas[idx]+nbuf[i] > 0 {
+				bit = 1
+			}
+			out[i] = bit
+			idx += stride
+		}
+		return
+	}
+	if !noisy || jitter <= 0 {
+		// Noiseless, or noisy with zero jitter: no draws happen, every vote
+		// sees the same delta, so majority collapses to one threshold pass.
+		idx := lane
+		for i := range out {
+			var bit uint8
+			if deltas[idx] > 0 {
+				bit = 1
+			}
+			out[i] = bit
+			idx += stride
+		}
+		return
+	}
 	for i := range counts {
 		counts[i] = 0
 	}
 	for v := 0; v < votes; v++ {
+		for i := range nbuf {
+			nbuf[i] = noise.NormMS(0, jitter)
+		}
+		idx := lane
 		for i := range counts {
-			d := dev.arrivalDelta(arr, i)
-			if jitter > 0 {
-				d += noise.NormMS(0, jitter)
-			}
-			if d > 0 {
+			if deltas[idx]+nbuf[i] > 0 {
 				counts[i]++
 			}
+			idx += stride
 		}
 	}
 	for i, c := range counts {
+		var bit uint8
 		if 2*c > votes {
-			out[i] = 1
-		} else {
-			out[i] = 0
+			bit = 1
 		}
+		out[i] = bit
 	}
 }

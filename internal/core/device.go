@@ -45,6 +45,14 @@ type Device struct {
 	// worker-count-independent per-challenge noise streams.
 	batch       *BatchEvaluator
 	batchEpochs uint64
+	// evalEngine is the per-device engine override (engine.go);
+	// EngineDefault defers to the package default.
+	evalEngine EvalEngine
+	// linear caches the fitted linear-delay fast model (linear.go); physGen
+	// counts physics changes (aging, epoch, extra skew) so stale fits are
+	// detected and redone.
+	linear  *LinearModel
+	physGen uint64
 }
 
 // NewDevice manufactures chip chipID of the design, drawing its process
@@ -132,6 +140,7 @@ func (dev *Device) SetExtraSkewPs(skew []float64) {
 		panic(fmt.Sprintf("core: extra skew of %d entries for %d response bits", len(skew), dev.design.ResponseBits()))
 	}
 	dev.extraSkewPs = skew
+	dev.physGen++ // arbiter deltas changed: linear-model fits are stale
 }
 
 // ExtraSkewPs returns the per-device extra skew (nil if unset).

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// EvalEngine selects the physics engine behind the batch-evaluation layer
+// (BatchEvaluator and the Device.RawResponses/NoiselessResponses/
+// MajorityResponses family). Everything above that layer — experiments,
+// attacks, enrollment, re-enrollment — inherits the selection without
+// caller changes.
+type EvalEngine uint8
+
+const (
+	// EngineDefault resolves to the package-wide default (see
+	// SetDefaultEvalEngine) at evaluation time.
+	EngineDefault EvalEngine = iota
+	// EngineGate is the scalar levelized gate-level engine (sim.Engine),
+	// one challenge per pass.
+	EngineGate
+	// EngineBitslice is the 64-lane bitsliced gate-level engine
+	// (sim.SlicedEngine). Bit-identical to EngineGate — the equivalence
+	// suite enforces it — and the default.
+	EngineBitslice
+	// EngineLinear is the additive linear-delay fast model (linear.go):
+	// an approximation fitted and validated against the gate-level engine,
+	// for workloads that trade exactness for throughput and footprint.
+	EngineLinear
+)
+
+// String returns the flag spelling of the engine.
+func (e EvalEngine) String() string {
+	switch e {
+	case EngineDefault:
+		return "default"
+	case EngineGate:
+		return "gate"
+	case EngineBitslice:
+		return "bitslice"
+	case EngineLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("EvalEngine(%d)", uint8(e))
+}
+
+// ParseEvalEngine maps a -engine flag value to an engine.
+func ParseEvalEngine(s string) (EvalEngine, error) {
+	switch s {
+	case "gate":
+		return EngineGate, nil
+	case "bitslice":
+		return EngineBitslice, nil
+	case "linear":
+		return EngineLinear, nil
+	}
+	return EngineDefault, fmt.Errorf("core: unknown eval engine %q (want gate, bitslice or linear)", s)
+}
+
+// defaultEngine holds the package-wide engine as a uint32 for atomic access
+// (cmd flags set it once at startup; experiments read it per batch).
+var defaultEngine atomic.Uint32
+
+func init() { defaultEngine.Store(uint32(EngineBitslice)) }
+
+// SetDefaultEvalEngine sets the engine used by every device that has no
+// per-device override. e must be a concrete engine, not EngineDefault.
+func SetDefaultEvalEngine(e EvalEngine) {
+	if e == EngineDefault {
+		panic("core: SetDefaultEvalEngine(EngineDefault)")
+	}
+	defaultEngine.Store(uint32(e))
+}
+
+// DefaultEvalEngine returns the package-wide default engine.
+func DefaultEvalEngine() EvalEngine { return EvalEngine(defaultEngine.Load()) }
+
+// SetEvalEngine overrides the engine for this device's batch evaluations.
+// EngineDefault restores deference to the package default.
+func (dev *Device) SetEvalEngine(e EvalEngine) { dev.evalEngine = e }
+
+// EvalEngine returns the engine this device's batch evaluations will use,
+// with EngineDefault already resolved.
+func (dev *Device) EvalEngine() EvalEngine {
+	if dev.evalEngine == EngineDefault {
+		return DefaultEvalEngine()
+	}
+	return dev.evalEngine
+}

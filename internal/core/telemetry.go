@@ -26,5 +26,7 @@ var (
 	batchWorkersBusy = telemetry.Default().Gauge("puf_batch_workers_busy",
 		"Batch worker goroutines currently evaluating.")
 	batchGateEvalRate = telemetry.Default().Gauge("puf_batch_gate_evals_per_sec",
-		"Gate evaluations per second achieved by the most recent batch.")
+		"Effective gate evaluations per second achieved by the most recent gate-level batch (lane-evals under bitslicing; unset for the linear fast model).")
+	bitsliceLanesBusy = telemetry.Default().Gauge("puf_bitslice_lanes_busy",
+		"Average active lanes per 64-lane block in the most recent bitsliced batch.")
 )

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"sync"
+
+	"pufatt/internal/delay"
+	"pufatt/internal/netlist"
+)
+
+// SlicedPool is Pool's bitsliced sibling: it hands out SlicedEngines over
+// one shared netlist/delay-table pair for parallel block evaluation, with
+// the same never-dropped free list and telemetry.
+type SlicedPool struct {
+	mu    sync.Mutex
+	proto *SlicedEngine
+	free  []*SlicedEngine
+}
+
+// NewSlicedPool returns a pool of bitsliced engines over the netlist/delay
+// pair.
+func NewSlicedPool(nl *netlist.Netlist, delays delay.Table) *SlicedPool {
+	return &SlicedPool{proto: NewSlicedEngine(nl, delays)}
+}
+
+// Get returns an engine, reusing a pooled clone when one is free. The caller
+// owns it until Put. Engines keep whatever delay table they last ran with;
+// callers that sweep operating corners must SetDelays after Get.
+func (p *SlicedPool) Get() *SlicedEngine {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		poolHits.Inc()
+		poolIdle.Add(-1)
+		return e
+	}
+	p.mu.Unlock()
+	return p.proto.Clone()
+}
+
+// Put returns an engine to the free list for reuse. Only engines obtained
+// from this pool (all sharing the pool's netlist) may be returned.
+func (p *SlicedPool) Put(e *SlicedEngine) {
+	if e == nil {
+		return
+	}
+	if e.nl != p.proto.nl {
+		panic("sim: Put of a sliced engine from a different netlist")
+	}
+	p.mu.Lock()
+	p.free = append(p.free, e)
+	p.mu.Unlock()
+	poolIdle.Add(1)
+}
+
+// SetDelays replaces the delay table handed to engines cloned from now on
+// and on every currently pooled engine (engines checked out keep their old
+// table until their next SetDelays).
+func (p *SlicedPool) SetDelays(delays delay.Table) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.proto.SetDelays(delays)
+	for _, e := range p.free {
+		e.SetDelays(delays)
+	}
+}
+
+// Idle returns how many engines are currently pooled.
+func (p *SlicedPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// GatesPerRun returns the per-lane gate count of the pool's engines.
+func (p *SlicedPool) GatesPerRun() int { return p.proto.GatesPerRun() }
+
+// Fused reports whether the pool's engines run the fused ripple-carry
+// program.
+func (p *SlicedPool) Fused() bool { return p.proto.Fused() }

@@ -11,7 +11,9 @@ var (
 	levelizedPasses = telemetry.Default().Counter("sim_levelized_passes_total",
 		"Levelized floating-mode evaluation passes (one per Engine.Run).")
 	gateEvals = telemetry.Default().Counter("sim_gate_evals_total",
-		"Gates evaluated by the levelized engine.")
+		"Effective gates evaluated by the levelized engines (a bitsliced pass counts gates x active lanes).")
+	bitslicePasses = telemetry.Default().Counter("sim_bitslice_passes_total",
+		"Bitsliced 64-lane evaluation passes (one per SlicedEngine.RunBlock).")
 	eventsProcessed = telemetry.Default().Counter("sim_events_processed_total",
 		"Events processed by the event-driven simulator.")
 	engineClones = telemetry.Default().Counter("sim_engine_clones_total",

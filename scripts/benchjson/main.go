@@ -13,6 +13,13 @@
 // A benchmark regresses when its ns/op grows by more than the threshold
 // fraction. With -strict, regressions on benchmarks matching the critical
 // regexp exit non-zero, so CI can gate on the Figure 3/4 hot paths.
+//
+// With -minspeedup S (S > 1), compare additionally asserts an improvement:
+// every critical benchmark must run at least S times faster in the new
+// snapshot (old ns/op ÷ new ns/op ≥ S), for gating deliberate optimisation
+// work rather than just catching regressions:
+//
+//	benchjson compare -minspeedup 5 -critical 'BatchEval' -strict old.json new.json
 package main
 
 import (
@@ -93,9 +100,10 @@ func compareMain(args []string) int {
 	threshold := fs.Float64("threshold", 0.10, "regression threshold as a fraction of old ns/op")
 	critical := fs.String("critical", "Figure3|Figure4", "regexp of benchmarks whose regressions are fatal with -strict")
 	strict := fs.Bool("strict", false, "exit non-zero on critical regressions")
+	minSpeedup := fs.Float64("minspeedup", 0, "require critical benchmarks to be at least this many times faster (old/new ns/op); 0 disables")
 	fs.Parse(args) //nolint:errcheck
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold f] [-critical re] [-strict] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-threshold f] [-critical re] [-minspeedup s] [-strict] old.json new.json")
 		return 2
 	}
 	crit, err := regexp.Compile(*critical)
@@ -123,6 +131,8 @@ func compareMain(args []string) int {
 
 	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	criticalRegressions := 0
+	missedSpeedups := 0
+	criticalMatched := 0
 	for _, name := range names {
 		o := oldNs[name]
 		n, ok := newNs[name]
@@ -139,6 +149,16 @@ func compareMain(args []string) int {
 				criticalRegressions++
 			}
 		}
+		if *minSpeedup > 0 && crit.MatchString(name) {
+			criticalMatched++
+			speedup := o / n
+			if speedup < *minSpeedup {
+				mark = fmt.Sprintf("SPEEDUP %.2fx < required %.2fx", speedup, *minSpeedup)
+				missedSpeedups++
+			} else if mark == "" {
+				mark = fmt.Sprintf("speedup %.2fx", speedup)
+			}
+		}
 		fmt.Printf("%-50s %14.1f %14.1f %+7.1f%% %s\n", name, o, n, 100*delta, mark)
 	}
 	for _, name := range sortedKeys(newNs) {
@@ -146,12 +166,24 @@ func compareMain(args []string) int {
 			fmt.Printf("%-50s %14s %14.1f %8s\n", name, "-", newNs[name], "new")
 		}
 	}
+	fail := false
 	if criticalRegressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) regressed by more than %.0f%%\n",
 			criticalRegressions, 100**threshold)
-		if *strict {
-			return 1
+		fail = true
+	}
+	if *minSpeedup > 0 {
+		if criticalMatched == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -minspeedup given but no benchmark in both snapshots matches -critical %q\n", *critical)
+			fail = true
+		} else if missedSpeedups > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) below the required %.2fx speedup\n",
+				missedSpeedups, *minSpeedup)
+			fail = true
 		}
+	}
+	if fail && *strict {
+		return 1
 	}
 	return 0
 }

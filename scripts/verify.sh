@@ -42,6 +42,12 @@ go test -race ./internal/sim/... ./internal/core/... ./internal/experiments/...
 echo "== go test -race -run TestParallelDeterminism (smoke across fan-out users)"
 go test -race -run TestParallelDeterminism ./internal/core/... ./internal/experiments/... ./internal/attacks/...
 
+echo "== go test -race bitsliced engine suite (cross-engine equivalence, lane kernels, linear fast model)"
+go test -race -run 'Sliced|Bitslice|LinearModel|LinearEngine|EvalEngine' ./internal/sim ./internal/core
+
+echo "== go test -race -run TestBitsliceDeterministicAcrossWorkers (bitslice worker-count determinism smoke)"
+go test -race -run TestBitsliceDeterministicAcrossWorkers ./internal/core
+
 echo "== go test -race epoch lifecycle suite (cutover kill-and-recover, concurrent re-enrollment vs live claims)"
 go test -race -run 'Epoch|Reenroll|Exhaust|Kill|WALClaimsSplit' ./internal/crp/store ./internal/attest ./internal/core
 
