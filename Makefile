@@ -1,12 +1,14 @@
 # Makefile — developer entry points. `make verify` is the full gate:
 # gofmt, tier-1 build+tests, vet, and the race-detected suites. `make
-# bench` snapshots the root benchmarks into BENCH_PR8.json and gates the
-# snapshot against the previous PR's BENCH_PR7.json: a >10% ns/op
+# bench` snapshots the root benchmarks into BENCH_PR9.json and gates the
+# snapshot against the previous PR's BENCH_PR8.json: a >10% ns/op
 # regression on the critical Figure3/Figure4 benches fails the target,
-# as does >3% on the attestation-protocol hot path (the exemplar capture
-# added in observability v3 must stay in the noise), and the bitsliced
-# batch-evaluation path must hold its >=5x speedup over the PR7 scalar
-# engine on every BenchmarkBatchEval worker count.
+# as does >3% on the attestation-protocol hot path. The PR8 batch-eval
+# minspeedup gate is retired — the bitsliced engine is now the baseline
+# on both sides of the comparison, so the ordinary regression threshold
+# covers it. A separate single-shot pass appends the cluster load SLO
+# curves (p99, reject_overload, sessions/s at 1k/5k/10k provers) to the
+# same snapshot.
 
 GO ?= go
 
@@ -46,11 +48,15 @@ verify:
 # so a single timer interrupt or clock-ramp stall inflates the sample
 # 2x and the gate flaps. 2000 iterations amortize that. Both passes
 # feed one snapshot and benchjson keeps the fastest sample per
-# benchmark.
+# benchmark. The cluster load benchmark gets its own single-shot pass
+# (PUFATT_BENCH_CLUSTER gates it out of the sweep passes): one RunLoad
+# per level IS the measurement — the SLO numbers come from the report
+# metrics, and 10k provers at 20x/count-5 would take half an hour for
+# no extra signal.
 bench:
 	{ $(GO) test -run '^$$' -bench . -benchtime 20x -count 5 . ; \
-	  $(GO) test -run '^$$' -bench 'Figure3|Figure4|AttestationProtocol|BatchEval' -benchtime 2000x -count 5 . ; } | $(GO) run ./scripts/benchjson > BENCH_PR8.json
-	@cat BENCH_PR8.json
-	@if [ -f BENCH_PR7.json ]; then $(GO) run ./scripts/benchjson compare -threshold 0.10 -critical 'Figure3|Figure4' -strict BENCH_PR7.json BENCH_PR8.json; fi
-	@if [ -f BENCH_PR7.json ]; then $(GO) run ./scripts/benchjson compare -threshold 0.03 -critical 'AttestationProtocol' -strict BENCH_PR7.json BENCH_PR8.json; fi
-	@if [ -f BENCH_PR7.json ]; then $(GO) run ./scripts/benchjson compare -minspeedup 5 -critical 'BenchmarkBatchEval/' -strict BENCH_PR7.json BENCH_PR8.json; fi
+	  $(GO) test -run '^$$' -bench 'Figure3|Figure4|AttestationProtocol|BatchEval' -benchtime 2000x -count 5 . ; \
+	  PUFATT_BENCH_CLUSTER=1 $(GO) test -run '^$$' -bench 'ClusterLoadSLO' -benchtime 1x -count 1 -timeout 30m . ; } | $(GO) run ./scripts/benchjson > BENCH_PR9.json
+	@cat BENCH_PR9.json
+	@if [ -f BENCH_PR8.json ]; then $(GO) run ./scripts/benchjson compare -threshold 0.10 -critical 'Figure3|Figure4' -strict BENCH_PR8.json BENCH_PR9.json; fi
+	@if [ -f BENCH_PR8.json ]; then $(GO) run ./scripts/benchjson compare -threshold 0.03 -critical 'AttestationProtocol' -strict BENCH_PR8.json BENCH_PR9.json; fi

@@ -11,11 +11,13 @@ package pufatt
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"pufatt/internal/attacks"
 	"pufatt/internal/attest"
+	"pufatt/internal/attest/cluster"
 	"pufatt/internal/bch"
 	"pufatt/internal/core"
 	crpstore "pufatt/internal/crp/store"
@@ -989,5 +991,47 @@ func BenchmarkEpochCutoverLatency(b *testing.B) {
 		if err := staged.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterLoadSLO drives the distributed verifier tier at
+// increasing offered load and snapshots the SLO surface: session
+// throughput, p99 latency (admission queueing included), and the
+// reject_overload count. The 10k-prover level is the ISSUE's fleet-scale
+// acceptance point; each level re-runs the merged claim-log audit and
+// fails if it is not clean. Run with -benchtime 1x: one RunLoad per level
+// is the measurement (the fleet build dominates re-runs and the SLO
+// numbers come from the report, not ns/op).
+func BenchmarkClusterLoadSLO(b *testing.B) {
+	if os.Getenv("PUFATT_BENCH_CLUSTER") == "" {
+		b.Skip("load levels run in make bench's dedicated single-shot pass; set PUFATT_BENCH_CLUSTER=1 to run directly")
+	}
+	levels := []struct {
+		name             string
+		provers, devices int
+	}{
+		{"provers=1000", 1000, 128},
+		{"provers=5000", 5000, 256},
+		{"provers=10000", 10000, 512},
+	}
+	for _, lv := range levels {
+		b.Run(lv.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := cluster.RunLoad(cluster.LoadConfig{
+					Provers: lv.provers,
+					Devices: lv.devices,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.AuditClean {
+					b.Fatalf("claim-log audit not clean at %d provers", lv.provers)
+				}
+				b.ReportMetric(float64(report.Provers), "provers")
+				b.ReportMetric(report.P99Ms, "p99-ms")
+				b.ReportMetric(float64(report.Overloaded), "reject-overload")
+				b.ReportMetric(report.Throughput, "sessions/s")
+			}
+		})
 	}
 }

@@ -1,0 +1,80 @@
+// pufatt-load is the fleet-scale load generator for the distributed
+// verifier tier. It builds an in-process cluster (sharded routing,
+// replicated claim logs, admission control), enrolls a simulated device
+// fleet, then slams it with N concurrent prover clients and prints the
+// SLO surface: throughput, p50/p95/p99 session latency (queueing
+// included), and the reject_overload curve — plus the merged claim-log
+// audit verdict, which must stay clean at every load level.
+//
+// Usage:
+//
+//	pufatt-load                                  # 1024 provers, 256 devices
+//	pufatt-load -provers 10000 -devices 512      # fleet scale
+//	pufatt-load -provers 4096 -inflight 16 -queue 64   # force the reject curve
+//	pufatt-load -provers 2048 -drop 0.05 -json   # lossy last hop, JSON report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pufatt/internal/attest"
+	"pufatt/internal/attest/cluster"
+)
+
+func main() {
+	shards := flag.Int("shards", 3, "verifier shards")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the ring")
+	replicas := flag.Int("replicas", 3, "claim-log replication factor")
+	inflight := flag.Int("inflight", 0, "admitted sessions per shard (0 = 4×GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue per shard (0 = 32×inflight)")
+	devices := flag.Int("devices", 256, "simulated devices in the fleet")
+	provers := flag.Int("provers", 1024, "concurrent prover clients")
+	sessions := flag.Int("sessions", 1, "sessions per prover")
+	attempts := flag.Int("attempts", 3, "retry budget per session")
+	seed := flag.Uint64("seed", 1, "master seed for devices and nonces")
+	drop := flag.Float64("drop", 0, "fault injection: response drop rate")
+	corrupt := flag.Float64("corrupt", 0, "fault injection: response corruption rate")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a summary line")
+	flag.Parse()
+
+	cfg := cluster.LoadConfig{
+		Shards:            *shards,
+		VNodes:            *vnodes,
+		Replicas:          *replicas,
+		MaxInFlight:       *inflight,
+		MaxQueue:          *queue,
+		Devices:           *devices,
+		Provers:           *provers,
+		SessionsPerProver: *sessions,
+		MaxAttempts:       *attempts,
+		Seed:              *seed,
+		Plan:              attest.FaultPlan{Drop: *drop, Corrupt: *corrupt},
+	}
+
+	report, err := cluster.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pufatt-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "pufatt-load: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("setup: %d devices enrolled across %d shards in %.2fs\n",
+			report.Devices, *shards, report.SetupSecs)
+		fmt.Println(report)
+	}
+
+	if !report.AuditClean {
+		fmt.Fprintln(os.Stderr, "pufatt-load: claim-log audit NOT clean — duplicate or diverged claims detected")
+		os.Exit(2)
+	}
+}

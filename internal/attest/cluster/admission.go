@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pufatt/internal/attest"
+)
+
+// Admission control on a shard's accept path: a bounded in-flight session
+// count with a bounded wait queue in front of it. A session either runs
+// immediately, waits in the queue for a slot, or — when the queue is full
+// — is rejected with a typed OverloadError, the 503 of this protocol.
+//
+// The classification matters as much as the bound. An overload rejection
+// is the shard *deciding* not to serve, not the channel mangling a frame,
+// so OverloadError is deliberately NOT a transport fault: it wraps no
+// net.Error, carries no transport sentinel, and attest.IsTransport
+// returns false for it. A retry loop that treated overload as transport
+// would hammer an overloaded shard with its whole retry budget —
+// amplifying exactly the load that caused the rejection. Clients back off
+// at their own cadence or route elsewhere.
+
+// OverloadError is the typed admission rejection (reject_overload).
+type OverloadError struct {
+	Shard    string
+	InFlight int // in-flight sessions at rejection time
+	Queued   int // queue occupancy at rejection time
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster: shard %s overloaded: %d sessions in flight, %d queued (reject_overload)",
+		e.Shard, e.InFlight, e.Queued)
+}
+
+// IsOverload reports whether err is an admission rejection.
+func IsOverload(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe)
+}
+
+// Admission is one shard's admission gate.
+type Admission struct {
+	shard string
+	slots chan struct{} // in-flight capacity
+	queue chan struct{} // waiting capacity (may be nil: reject immediately)
+}
+
+// NewAdmission builds a gate admitting maxInFlight concurrent sessions
+// with maxQueue waiters behind them. maxInFlight <= 0 defaults to 32;
+// maxQueue <= 0 means no queue (full slots reject immediately).
+func NewAdmission(shard string, maxInFlight, maxQueue int) *Admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 32
+	}
+	a := &Admission{shard: shard, slots: make(chan struct{}, maxInFlight)}
+	if maxQueue > 0 {
+		a.queue = make(chan struct{}, maxQueue)
+	}
+	return a
+}
+
+// Acquire admits one session, blocking in the queue while the shard is at
+// capacity. It returns the release function for the admitted slot, or an
+// *OverloadError when the queue is full, or a terminal attest.ErrCancelled
+// when ctx ends while queued.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	release = func() {
+		<-a.slots
+		inFlight.With(a.shard).Set(float64(len(a.slots)))
+	}
+	select {
+	case a.slots <- struct{}{}:
+		inFlight.With(a.shard).Set(float64(len(a.slots)))
+		return release, nil
+	default:
+	}
+	if a.queue == nil {
+		rejectOverload.With(a.shard).Inc()
+		return nil, &OverloadError{Shard: a.shard, InFlight: len(a.slots)}
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		rejectOverload.With(a.shard).Inc()
+		return nil, &OverloadError{Shard: a.shard, InFlight: len(a.slots), Queued: len(a.queue)}
+	}
+	queueDepth.With(a.shard).Set(float64(len(a.queue)))
+	defer func() {
+		<-a.queue
+		queueDepth.With(a.shard).Set(float64(len(a.queue)))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		inFlight.With(a.shard).Set(float64(len(a.slots)))
+		return release, nil
+	case <-ctx.Done():
+		// The caller gave up while queued: terminal, not overload (the
+		// shard refused nothing) and not transport (nothing was lost).
+		return nil, fmt.Errorf("%w: while queued on shard %s: %v", attest.ErrCancelled, a.shard, ctx.Err())
+	}
+}
+
+// InFlight reports the sessions currently admitted.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// QueueDepth reports the sessions currently waiting.
+func (a *Admission) QueueDepth() int { return len(a.queue) }

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pufatt/internal/crp"
+	"pufatt/internal/crp/store"
+)
+
+// Typed leadership errors. Both are terminal session errors — they mean
+// the control plane refuses to serve, not that a frame was lost — so the
+// attestation retry machinery never consumes transport budget on them.
+var (
+	// ErrStaleReplica reports a promotion (or a forced serve) refused
+	// because the candidate's claim log is behind the acknowledged
+	// high-water mark: some finished session consumed a seed the candidate
+	// has never heard of, and serving from it could hand that seed out
+	// again. Fail closed.
+	ErrStaleReplica = errors.New("cluster: replica claim log behind acknowledged high-water mark")
+	// ErrNoLeader reports a device none of whose live replicas may serve.
+	ErrNoLeader = errors.New("cluster: no serviceable leader for device")
+)
+
+// Group is one device's replication group: the ordered replica set the
+// ring assigned it, one claim log per replica, and the leader that owns
+// claims. It implements the attestation layer's EpochBudget, so a Verifier
+// whose seed budget is a Group transparently claims every session's x0
+// through the replicated log. (It also implements core.ReferenceSource
+// over the enrollment's measured references, for direct CRP verification
+// of claimed seeds; interactive sessions use the emulator model as their
+// reference source, as everywhere else in the stack.)
+type Group struct {
+	c      *Cluster
+	device int
+
+	mu       sync.Mutex
+	enr      *Enrollment
+	replicas []string
+	leader   int // index into replicas
+	logs     map[string]*deviceLog
+	acked    map[string]uint64 // leader's acknowledged high-water mark per replica
+	// hwm is the group's acknowledged high-water mark: the highest
+	// sequence number that completed the full log-before-acknowledge
+	// cycle (leader append + replication to every live follower) and was
+	// therefore released to a session. Promotion gates on it.
+	hwm uint64
+}
+
+// Device returns the group's chip ID.
+func (g *Group) Device() int { return g.device }
+
+// Replicas returns the group's replica set, leader first as placed by the
+// ring (the *current* leader may differ after failover; see Leader).
+func (g *Group) Replicas() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.replicas...)
+}
+
+// Leader resolves the group's current serviceable leader, auto-promoting
+// over a dead one when the cluster allows it.
+func (g *Group) Leader() (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderLocked()
+}
+
+// Applied reports a replica's applied log sequence (0 for a non-replica).
+func (g *Group) Applied(shard string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if l := g.logs[shard]; l != nil {
+		return l.applied()
+	}
+	return 0
+}
+
+// HighWaterMark reports the group's acknowledged high-water mark.
+func (g *Group) HighWaterMark() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hwm
+}
+
+// leaderLocked returns the current leader if it is alive, else fails over
+// (when the cluster's AutoFailover is set) to the live replica with the
+// longest log — which promoteLocked still gates against the high-water
+// mark, so a partitioned rump of stale replicas fails closed rather than
+// serving.
+func (g *Group) leaderLocked() (string, error) {
+	lead := g.replicas[g.leader]
+	if g.c.shardAlive(lead) {
+		return lead, nil
+	}
+	if !g.c.cfg.AutoFailover {
+		return "", fmt.Errorf("%w %d: leader %s down", ErrNoLeader, g.device, lead)
+	}
+	best, bestApplied := -1, uint64(0)
+	for i, sid := range g.replicas {
+		if i == g.leader || !g.c.shardAlive(sid) {
+			continue
+		}
+		if a := g.logs[sid].applied(); best < 0 || a > bestApplied {
+			best, bestApplied = i, a
+		}
+	}
+	if best < 0 {
+		return "", fmt.Errorf("%w %d: all replicas down", ErrNoLeader, g.device)
+	}
+	if err := g.promoteLocked(g.replicas[best]); err != nil {
+		return "", err
+	}
+	return g.replicas[g.leader], nil
+}
+
+// Promote makes the named replica the group's leader. It refuses — with
+// ErrStaleReplica — a candidate whose applied log is behind the
+// acknowledged high-water mark: a stale leader could re-issue a seed some
+// completed session already used.
+func (g *Group) Promote(shard string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.promoteLocked(shard)
+}
+
+func (g *Group) promoteLocked(shard string) error {
+	idx := -1
+	for i, sid := range g.replicas {
+		if sid == shard {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		promotions.With("not_replica").Inc()
+		return fmt.Errorf("cluster: shard %s is not a replica of device %d", shard, g.device)
+	}
+	if !g.c.shardAlive(shard) {
+		promotions.With("down").Inc()
+		return fmt.Errorf("cluster: promoting device %d: shard %s: %w", g.device, shard, ErrShardDown)
+	}
+	if applied := g.logs[shard].applied(); applied < g.hwm {
+		promotions.With("stale_refused").Inc()
+		return fmt.Errorf("%w: device %d shard %s applied %d < hwm %d",
+			ErrStaleReplica, g.device, shard, applied, g.hwm)
+	}
+	if idx != g.leader {
+		promotions.With("promoted").Inc()
+	}
+	g.leader = idx
+	return nil
+}
+
+// NextUnusedWithEpoch claims the next unused seed through the replicated
+// log: the leader appends the claim frame locally (log before
+// acknowledge), streams it to every live follower, advances the
+// acknowledged high-water mark, and only then releases the seed.
+func (g *Group) NextUnusedWithEpoch() (uint64, uint32, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead, err := g.leaderLocked()
+	if err != nil {
+		return 0, 0, err
+	}
+	log := g.logs[lead]
+	seed, ok := g.nextUnusedLocked(log)
+	if !ok {
+		return 0, log.epoch, fmt.Errorf("cluster: device %d: %w", g.device, crp.ErrExhausted)
+	}
+	if err := g.replicateLocked(lead, store.ClaimFrame(seed)); err != nil {
+		return 0, 0, err
+	}
+	replClaims.Inc()
+	return seed, log.epoch, nil
+}
+
+// NextUnused implements attest.SeedBudget.
+func (g *Group) NextUnused() (uint64, error) {
+	seed, _, err := g.NextUnusedWithEpoch()
+	return seed, err
+}
+
+// nextUnusedLocked scans the enrollment order from the log's cursor for
+// the first seed the log has not burned.
+func (g *Group) nextUnusedLocked(log *deviceLog) (uint64, bool) {
+	for log.cursor < len(g.enr.order) {
+		if s := g.enr.order[log.cursor]; !log.used[s] {
+			return s, true
+		}
+		log.cursor++
+	}
+	return 0, false
+}
+
+// replicateLocked runs one frame through the full log-before-acknowledge
+// cycle: leader append, synchronous streaming to live followers with
+// acknowledged marks, high-water-mark advance. Dead followers are skipped
+// — their logs stop advancing, which is exactly what the promotion gate
+// measures. A follower that revived behind the leader is caught up first:
+// the leader streams every frame it missed, in order, before the new one.
+// A live follower refusing a frame is a fatal control-plane error
+// (histories diverged); the claim is burned on the leader and never
+// released.
+func (g *Group) replicateLocked(lead string, frame []byte) error {
+	log := g.logs[lead]
+	seq := log.applied() + 1
+	if err := log.apply(seq, frame); err != nil {
+		return fmt.Errorf("cluster: leader %s append for device %d: %w", lead, g.device, err)
+	}
+	g.acked[lead] = seq
+	for _, sid := range g.replicas {
+		if sid == lead || !g.c.shardAlive(sid) {
+			continue
+		}
+		follower := g.logs[sid]
+		for s := follower.applied() + 1; s <= seq; s++ {
+			if err := follower.apply(s, log.frames[s-1]); err != nil {
+				return fmt.Errorf("cluster: replicating seq %d for device %d to %s: %w", s, g.device, sid, err)
+			}
+			replFrames.Inc()
+		}
+		g.acked[sid] = seq
+	}
+	g.hwm = seq
+	g.observeLagLocked()
+	return nil
+}
+
+// observeLagLocked reports the group's worst follower lag (in frames
+// behind the high-water mark, live replicas only) to the lag gauge.
+func (g *Group) observeLagLocked() {
+	var worst uint64
+	for _, sid := range g.replicas {
+		if !g.c.shardAlive(sid) {
+			continue
+		}
+		if a := g.logs[sid].applied(); g.hwm > a && g.hwm-a > worst {
+			worst = g.hwm - a
+		}
+	}
+	replLag.Set(float64(worst))
+}
+
+// CommitEpoch replicates an epoch transition frame — the cutover commit
+// point — and swaps in the new epoch's enrollment. From the moment the
+// frame is on every live replica, the old epoch's seeds are unclaimable
+// cluster-wide.
+func (g *Group) CommitEpoch(enr *Enrollment) error {
+	if enr.device != g.device {
+		return fmt.Errorf("cluster: enrollment for device %d offered to device %d", enr.device, g.device)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead, err := g.leaderLocked()
+	if err != nil {
+		return err
+	}
+	from := g.logs[lead].epoch
+	if enr.epoch == from {
+		return fmt.Errorf("cluster: device %d re-enrollment must advance the epoch past %d", g.device, from)
+	}
+	if err := g.replicateLocked(lead, store.TransitionFrame(from, enr.epoch)); err != nil {
+		return err
+	}
+	g.enr = enr
+	// Claims from the retired enrollment stay in every log's used set;
+	// the fresh enrollment uses fresh seeds, and each log rescans from
+	// the front of the new order.
+	for _, l := range g.logs {
+		l.cursor = 0
+	}
+	return nil
+}
+
+// Epoch implements attest.EpochBudget.
+func (g *Group) Epoch() uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead, err := g.leaderLocked()
+	if err != nil {
+		return g.enr.epoch
+	}
+	return g.logs[lead].epoch
+}
+
+// Remaining implements attest.SeedBudget: unclaimed seeds under the
+// current leader's view.
+func (g *Group) Remaining() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead, err := g.leaderLocked()
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, s := range g.enr.order {
+		if !g.logs[lead].used[s] {
+			n++
+		}
+	}
+	return n
+}
+
+// ResponseBits implements core.ReferenceSource.
+func (g *Group) ResponseBits() int { return g.enr.bits }
+
+// ReferenceResponse implements core.ReferenceSource. Like crp.Database, a
+// seed must have been claimed before its references may be read, so a
+// protocol bug cannot silently bypass replay protection.
+func (g *Group) ReferenceResponse(seed uint64, j int) ([]uint8, error) {
+	g.mu.Lock()
+	enr := g.enr
+	lead, err := g.leaderLocked()
+	var claimed bool
+	if err == nil {
+		claimed = g.logs[lead].used[seed]
+	}
+	g.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	refs, ok := enr.refs[seed]
+	if !ok {
+		return nil, crp.ErrUnknownSeed
+	}
+	if !claimed {
+		return nil, fmt.Errorf("cluster: seed %#x not claimed before use", seed)
+	}
+	if j < 0 || j >= len(refs) {
+		return nil, fmt.Errorf("cluster: reference index %d out of range", j)
+	}
+	return refs[j], nil
+}

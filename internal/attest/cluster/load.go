@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pufatt/internal/attest"
+	"pufatt/internal/core"
+	"pufatt/internal/mcu"
+	"pufatt/internal/rng"
+	"pufatt/internal/swatt"
+)
+
+// The fleet-scale load engine: build a cluster over simulated devices and
+// drive it with tens of thousands of concurrent prover clients, measuring
+// the SLO surface — throughput, latency quantiles including admission
+// queueing, and the reject_overload curve. cmd/pufatt-load is the CLI
+// face; BenchmarkClusterLoadSLO snapshots the curves into BENCH_PR9.json.
+//
+// Provers outnumber devices: each client goroutine attests its assigned
+// device, and clients sharing a device serialise on its session endpoint
+// (verifier session state is single-writer), so offered load beyond the
+// admission bound shows up exactly where a real deployment would see it —
+// queue depth, then rejections.
+
+// LoadConfig sizes one load run.
+type LoadConfig struct {
+	// Topology.
+	Shards      int // verifier shards (default 3)
+	VNodes      int // virtual nodes per shard (default 64)
+	Replicas    int // replication factor (default 3)
+	MaxInFlight int // admitted sessions per shard (default 4×GOMAXPROCS)
+	MaxQueue    int // admission queue per shard (default 32×MaxInFlight)
+
+	// Fleet.
+	Devices           int // simulated devices (default 256)
+	Provers           int // concurrent prover clients (default 1024)
+	SessionsPerProver int // sessions each client runs (default 1)
+
+	// Channel.
+	Plan      attest.FaultPlan // injected last-hop faults (zero = clean)
+	FaultSeed uint64           // fault schedule seed (default 1)
+
+	// Protocol.
+	MaxAttempts int    // retry budget per session (default 3)
+	Seed        uint64 // master seed for devices/nonces (default 1)
+
+	// Setup parallelism (default GOMAXPROCS).
+	SetupWorkers int
+}
+
+func (lc LoadConfig) withDefaults() LoadConfig {
+	if lc.Shards <= 0 {
+		lc.Shards = 3
+	}
+	if lc.VNodes <= 0 {
+		lc.VNodes = 64
+	}
+	if lc.Replicas <= 0 {
+		lc.Replicas = 3
+	}
+	if lc.MaxInFlight <= 0 {
+		lc.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if lc.MaxQueue <= 0 {
+		lc.MaxQueue = 32 * lc.MaxInFlight
+	}
+	if lc.Devices <= 0 {
+		lc.Devices = 256
+	}
+	if lc.Provers <= 0 {
+		lc.Provers = 1024
+	}
+	if lc.SessionsPerProver <= 0 {
+		lc.SessionsPerProver = 1
+	}
+	if lc.FaultSeed == 0 {
+		lc.FaultSeed = 1
+	}
+	if lc.MaxAttempts <= 0 {
+		lc.MaxAttempts = 3
+	}
+	if lc.Seed == 0 {
+		lc.Seed = 1
+	}
+	if lc.SetupWorkers <= 0 {
+		lc.SetupWorkers = runtime.GOMAXPROCS(0)
+	}
+	return lc
+}
+
+// seedsPerDevice sizes each device's enrollment so the worst case — every
+// client of the device burning its full retry budget — cannot exhaust it.
+func (lc LoadConfig) seedsPerDevice() int {
+	clients := (lc.Provers + lc.Devices - 1) / lc.Devices
+	return clients*lc.SessionsPerProver*lc.MaxAttempts + 4
+}
+
+// LoadReport is one load run's SLO measurement. Latency quantiles are
+// over served sessions (admitted past the gate, verdict or transport
+// failure) and include admission queueing; overload rejections are the
+// separate reject curve.
+type LoadReport struct {
+	Provers  int `json:"provers"`
+	Devices  int `json:"devices"`
+	Sessions int `json:"sessions"` // sessions attempted (served + rejected)
+
+	Accepted   int `json:"accepted"`
+	Rejected   int `json:"rejected"` // protocol rejections (verdict)
+	Overloaded int `json:"reject_overload"`
+	Exhausted  int `json:"exhausted"`
+	Transport  int `json:"transport_failed"`
+	Errors     int `json:"other_errors"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	SetupSecs   float64 `json:"setup_seconds"`
+	Throughput  float64 `json:"sessions_per_second"` // served sessions / wall
+
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	AuditClean  bool `json:"audit_clean"`
+	AuditFrames int  `json:"audit_frames"`
+}
+
+// String renders the report as one log-friendly line.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("provers=%d devices=%d sessions=%d accepted=%d rejected=%d overload=%d transport=%d p50=%.2fms p95=%.2fms p99=%.2fms %.0f sess/s audit_clean=%v",
+		r.Provers, r.Devices, r.Sessions, r.Accepted, r.Rejected, r.Overloaded, r.Transport,
+		r.P50Ms, r.P95Ms, r.P99Ms, r.Throughput, r.AuditClean)
+}
+
+// loadParams is the deliberately small SWATT geometry the load engine
+// runs: big enough to exercise the full protocol (checksum, helper
+// recovery, timing bound), small enough that one session costs well under
+// a millisecond and a 10k-prover run finishes in seconds.
+func loadParams() swatt.Params {
+	return swatt.Params{MemWords: 512, Chunks: 2, BlocksPerChunk: 2, PRG: swatt.PRGMix32}
+}
+
+// RunLoad executes one load level: builds the cluster and fleet, launches
+// cfg.Provers client goroutines, and reports the SLO surface plus the
+// merged claim-log audit.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	setupStart := time.Now()
+
+	shardNames := make([]string, cfg.Shards)
+	for i := range shardNames {
+		shardNames[i] = fmt.Sprintf("shard-%d", i)
+	}
+	c, err := New(Config{
+		Shards:       shardNames,
+		VNodes:       cfg.VNodes,
+		Replicas:     cfg.Replicas,
+		MaxInFlight:  cfg.MaxInFlight,
+		MaxQueue:     cfg.MaxQueue,
+		AutoFailover: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	design := core.MustNewDesign(core.DefaultConfig())
+	params := loadParams()
+	image, err := swatt.BuildImage(params, make([]uint32, 64))
+	if err != nil {
+		return nil, err
+	}
+	link := attest.DefaultLink()
+	perDevice := cfg.seedsPerDevice()
+
+	// Fleet setup fans out: device simulation, enrollment measurement, and
+	// verifier construction are all independent per device.
+	setupErrs := make([]error, cfg.Devices)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	injector := attest.NewFaultInjector(cfg.Plan, cfg.FaultSeed)
+	for w := 0; w < cfg.SetupWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				setupErrs[id] = func() error {
+					dev, err := core.NewDevice(design, rng.New(cfg.Seed+uint64(id)), id)
+					if err != nil {
+						return err
+					}
+					seeds := make([]uint64, perDevice)
+					for k := range seeds {
+						seeds[k] = uint64(id)<<20 | uint64(k+1)
+					}
+					enr, err := NewEnrollment(dev, seeds)
+					if err != nil {
+						return err
+					}
+					g, err := c.Enroll(enr)
+					if err != nil {
+						return err
+					}
+					port, err := mcu.NewDevicePort(dev)
+					if err != nil {
+						return err
+					}
+					prover := attest.NewProver(image.Clone(), port, 1)
+					prover.TuneClock(0.98)
+					// The emulator is the session reference source (the
+					// checksum draws its own PUF seeds); the Group is the
+					// replicated claim budget binding x0.
+					v, err := attest.NewVerifier(image, dev.Emulator(), prover.FreqHz, port.Votes)
+					if err != nil {
+						return err
+					}
+					v.WithSeedBudget(g)
+					v.PUFEpoch = enr.Epoch()
+					v.Nonces = rng.New(cfg.Seed + uint64(id)*7 + 3).Uint32
+					v.AllowNetwork(link)
+					var agent attest.ProverAgent = prover
+					if cfg.Plan != (attest.FaultPlan{}) {
+						agent = injector.WrapAgent(prover)
+					}
+					return c.Bind(id, v, agent, link)
+				}()
+			}
+		}()
+	}
+	// Cluster.Enroll and Bind serialise internally; feed ids in order.
+	for id := 0; id < cfg.Devices; id++ {
+		work <- id
+	}
+	close(work)
+	wg.Wait()
+	for id, err := range setupErrs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: load setup device %d: %w", id, err)
+		}
+	}
+	setupSecs := time.Since(setupStart).Seconds()
+
+	policy := attest.RetryPolicy{MaxAttempts: cfg.MaxAttempts, JitterSeed: cfg.Seed}
+	report := &LoadReport{Provers: cfg.Provers, Devices: cfg.Devices, SetupSecs: setupSecs}
+	type proverStats struct {
+		latencies                                                    []float64 // milliseconds, served sessions only
+		accepted, rejected, overloaded, exhausted, transport, errors int
+	}
+	stats := make([]proverStats, cfg.Provers)
+
+	ctx := context.Background()
+	runStart := time.Now()
+	var clients sync.WaitGroup
+	for p := 0; p < cfg.Provers; p++ {
+		clients.Add(1)
+		go func(p int) {
+			defer clients.Done()
+			st := &stats[p]
+			device := p % cfg.Devices
+			for s := 0; s < cfg.SessionsPerProver; s++ {
+				t0 := time.Now()
+				res, _, err := c.Attest(ctx, device, policy)
+				elapsed := time.Since(t0)
+				switch {
+				case err == nil && res.Accepted:
+					st.accepted++
+					st.latencies = append(st.latencies, elapsed.Seconds()*1e3)
+				case err == nil:
+					st.rejected++
+					st.latencies = append(st.latencies, elapsed.Seconds()*1e3)
+				case IsOverload(err):
+					st.overloaded++
+				case attest.IsExhausted(err):
+					st.exhausted++
+				case attest.IsTransport(err):
+					st.transport++
+					st.latencies = append(st.latencies, elapsed.Seconds()*1e3)
+				default:
+					st.errors++
+				}
+			}
+		}(p)
+	}
+	clients.Wait()
+	report.WallSeconds = time.Since(runStart).Seconds()
+
+	var lat []float64
+	for i := range stats {
+		st := &stats[i]
+		report.Accepted += st.accepted
+		report.Rejected += st.rejected
+		report.Overloaded += st.overloaded
+		report.Exhausted += st.exhausted
+		report.Transport += st.transport
+		report.Errors += st.errors
+		lat = append(lat, st.latencies...)
+	}
+	report.Sessions = report.Accepted + report.Rejected + report.Overloaded +
+		report.Exhausted + report.Transport + report.Errors
+	served := len(lat)
+	if report.WallSeconds > 0 {
+		report.Throughput = float64(served) / report.WallSeconds
+	}
+	sort.Float64s(lat)
+	report.P50Ms = quantile(lat, 0.50)
+	report.P95Ms = quantile(lat, 0.95)
+	report.P99Ms = quantile(lat, 0.99)
+
+	audit := c.AuditClaims()
+	report.AuditClean = audit.Clean()
+	report.AuditFrames = audit.Frames
+	return report, nil
+}
+
+// quantile reads the q-quantile from an ascending sample (0 when empty).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

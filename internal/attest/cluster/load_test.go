@@ -1,0 +1,44 @@
+package cluster
+
+import "testing"
+
+// A scaled-down load run: the engine's bookkeeping must balance (every
+// session accounted for exactly once) and the merged claim-log audit must
+// come back clean even with clients contending for shared devices.
+func TestRunLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke builds a real fleet")
+	}
+	report, err := RunLoad(LoadConfig{
+		Devices:           6,
+		Provers:           24,
+		SessionsPerProver: 1,
+		MaxInFlight:       8,
+		MaxQueue:          64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sessions != 24 {
+		t.Fatalf("sessions = %d, want 24", report.Sessions)
+	}
+	if sum := report.Accepted + report.Rejected + report.Overloaded + report.Exhausted +
+		report.Transport + report.Errors; sum != report.Sessions {
+		t.Fatalf("outcome sum %d != sessions %d", sum, report.Sessions)
+	}
+	if report.Accepted == 0 {
+		t.Fatal("no session accepted on a clean link")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("unclassified errors: %d", report.Errors)
+	}
+	if !report.AuditClean {
+		t.Fatal("claim-log audit found violations")
+	}
+	if report.P99Ms <= 0 || report.Throughput <= 0 {
+		t.Fatalf("degenerate SLO numbers: %+v", report)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report line")
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"pufatt/internal/crp/store"
+)
+
+// Follower replay rejection, exercised with the same frame-surgery
+// technique the store's WAL crash tests use: hand-built 16-byte frames,
+// selectively corrupted, delivered out of order or twice.
+
+func TestDeviceLogAppliesInOrder(t *testing.T) {
+	l := newDeviceLog(1)
+	if l.applied() != 0 {
+		t.Fatalf("fresh log applied = %d", l.applied())
+	}
+	if err := l.apply(1, store.ClaimFrame(0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.apply(2, store.ClaimFrame(0xa2)); err != nil {
+		t.Fatal(err)
+	}
+	if l.applied() != 2 {
+		t.Fatalf("applied = %d, want 2", l.applied())
+	}
+	if !l.used[0xa1] || !l.used[0xa2] {
+		t.Fatal("claimed seeds not burned in the used set")
+	}
+}
+
+func TestDeviceLogIdempotentRedelivery(t *testing.T) {
+	l := newDeviceLog(1)
+	frame := store.ClaimFrame(0xb1)
+	if err := l.apply(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	// The same (seq, frame) pair again is retransmission, not replay.
+	if err := l.apply(1, frame); err != nil {
+		t.Fatalf("idempotent re-delivery refused: %v", err)
+	}
+	if l.applied() != 1 {
+		t.Fatalf("re-delivery duplicated the frame: applied = %d", l.applied())
+	}
+	// The same sequence number carrying different bytes is divergence.
+	err := l.apply(1, store.ClaimFrame(0xb2))
+	if !errors.Is(err, ErrFrameMismatch) {
+		t.Fatalf("divergent re-delivery: %v, want ErrFrameMismatch", err)
+	}
+}
+
+func TestDeviceLogRejectsGaps(t *testing.T) {
+	l := newDeviceLog(1)
+	if err := l.apply(0, store.ClaimFrame(1)); !errors.Is(err, ErrLogGap) {
+		t.Fatalf("sequence 0: %v, want ErrLogGap", err)
+	}
+	if err := l.apply(2, store.ClaimFrame(1)); !errors.Is(err, ErrLogGap) {
+		t.Fatalf("skipped sequence: %v, want ErrLogGap", err)
+	}
+	if l.applied() != 0 {
+		t.Fatalf("refused frames still applied: %d", l.applied())
+	}
+}
+
+func TestDeviceLogRejectsSeedReplay(t *testing.T) {
+	l := newDeviceLog(1)
+	if err := l.apply(1, store.ClaimFrame(0xc1)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh sequence number re-claiming a burned seed is the replay the
+	// protocol exists to refuse.
+	err := l.apply(2, store.ClaimFrame(0xc1))
+	if !errors.Is(err, ErrSeedReplayed) {
+		t.Fatalf("seed replay: %v, want ErrSeedReplayed", err)
+	}
+	if l.applied() != 1 {
+		t.Fatalf("replayed frame applied: %d", l.applied())
+	}
+}
+
+// Frame surgery: every corruption axis DecodeWALFrame guards must be
+// refused before the frame touches log state.
+func TestDeviceLogRejectsCorruptFrames(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutilate func([]byte) []byte
+	}{
+		{"truncated", func(f []byte) []byte { return f[:store.WALFrameSize-3] }},
+		{"bad magic", func(f []byte) []byte { f[0] ^= 0xff; return f }},
+		{"flipped seed bit", func(f []byte) []byte { f[7] ^= 0x01; return f }}, // CRC now stale
+		{"corrupt crc", func(f []byte) []byte { f[13] ^= 0x80; return f }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := newDeviceLog(1)
+			err := l.apply(1, tc.mutilate(store.ClaimFrame(0xd1)))
+			if !errors.Is(err, store.ErrBadWALFrame) {
+				t.Fatalf("%s frame: %v, want ErrBadWALFrame", tc.name, err)
+			}
+			if l.applied() != 0 || len(l.used) != 0 {
+				t.Fatalf("%s frame leaked into log state", tc.name)
+			}
+		})
+	}
+}
+
+func TestDeviceLogEpochTransition(t *testing.T) {
+	l := newDeviceLog(1)
+	if err := l.apply(1, store.ClaimFrame(0xe1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.apply(2, store.TransitionFrame(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if l.epoch != 2 {
+		t.Fatalf("epoch = %d after transition, want 2", l.epoch)
+	}
+	// The old epoch's claim stays burned across the transition.
+	if err := l.apply(3, store.ClaimFrame(0xe1)); !errors.Is(err, ErrSeedReplayed) {
+		t.Fatalf("pre-transition seed reclaimed: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package cluster is the distributed verifier tier: it scales the
+// attestation stack past one verifier process without weakening the
+// protocol's single-use seed guarantee.
+//
+// Three mechanisms compose (DESIGN.md "Distributed verification"):
+//
+//   - a consistent-hash ring with virtual nodes routes every device ID to
+//     an ordered replica set of verifier shards, deterministically, so any
+//     front end computes the same placement with no coordination;
+//   - a replicated claim log streams the durable store's 16-byte WAL
+//     frames (crp/store) from each device's shard leader to its followers
+//     synchronously, before the claimed seed is acknowledged to the
+//     session — so every seed a *completed* session consumed is on every
+//     acknowledged replica, and leader failure cannot resurrect it;
+//   - failover promotion is fail-closed: a replica whose log is behind the
+//     acknowledged high-water mark refuses leadership (ErrStaleReplica),
+//     because serving from it could hand out a seed some finished session
+//     already used — exactly the replay the paper's CRP protocol forbids.
+//
+// Admission control bounds each shard's in-flight sessions with a reject
+// queue (503-style OverloadError, never retried as a transport fault), so
+// a fleet-scale arrival burst degrades into measured rejections instead of
+// unbounded queueing.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per shard when a Config leaves
+// it zero: enough points that ownership imbalance stays in the few-percent
+// range for small shard counts.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over named verifier shards.
+// Placement is a pure function of (shard names, vnodes): every process
+// that builds a ring from the same configuration routes identically.
+type Ring struct {
+	shards []string
+	vnodes int
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into shards
+}
+
+// splitmix64 is the finalising mixer used for every ring hash: cheap,
+// stateless, and avalanche-complete, so adjacent device IDs and vnode
+// indices land uniformly on the ring.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeviceKey maps a chip ID onto the ring's hash space.
+func DeviceKey(id int) uint64 { return splitmix64(uint64(uint(id))) }
+
+// NewRing builds a ring with vnodes virtual nodes per shard (<=0 means
+// DefaultVNodes). Shard names must be unique and non-empty.
+func NewRing(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if s == "" {
+			return nil, errors.New("cluster: empty shard name")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s)
+		}
+		seen[s] = true
+	}
+	r := &Ring{
+		shards: append([]string(nil), shards...),
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	for i, s := range r.shards {
+		h := fnv.New64a()
+		h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+		base := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  splitmix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on shard name so placement
+		// stays deterministic regardless of configuration order.
+		return r.shards[r.points[a].shard] < r.shards[r.points[b].shard]
+	})
+	return r, nil
+}
+
+// Shards returns the ring's shard names in configuration order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// VNodes returns the virtual-node count per shard.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// successor returns the index of the first ring point at or clockwise of
+// the key's hash.
+func (r *Ring) successor(key uint64) int {
+	h := splitmix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrap past twelve o'clock
+	}
+	return i
+}
+
+// Route returns the shard owning the key — the first virtual node at or
+// clockwise of its hash.
+func (r *Ring) Route(key uint64) string {
+	return r.shards[r.points[r.successor(key)].shard]
+}
+
+// RouteN returns the key's ordered replica set: the first n distinct
+// shards walking clockwise from the key's hash. The first entry is the
+// leader. n is clamped to the shard count.
+func (r *Ring) RouteN(key uint64, n int) []string {
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]string, 0, n)
+	taken := make(map[int]bool, n)
+	for i, start := 0, r.successor(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.shard] {
+			continue
+		}
+		taken[p.shard] = true
+		out = append(out, r.shards[p.shard])
+	}
+	return out
+}
+
+// RingSnapshot is the /ring admin view: the placement function made
+// inspectable, so an operator can see how the hash space divides before
+// and after a topology change.
+type RingSnapshot struct {
+	VNodes int              `json:"vnodes"`
+	Points int              `json:"points"`
+	Shards []ShardOwnership `json:"shards"`
+}
+
+// ShardOwnership reports one shard's slice of the ring.
+type ShardOwnership struct {
+	Shard string `json:"shard"`
+	// Ownership is the fraction of the 64-bit hash space whose successor
+	// point belongs to this shard. The fractions sum to 1.
+	Ownership float64 `json:"ownership"`
+	// Alive mirrors the cluster's liveness view (always true on a bare
+	// ring snapshot; the cluster admin view fills it in).
+	Alive bool `json:"alive"`
+}
+
+// Snapshot computes the ring's ownership distribution.
+func (r *Ring) Snapshot() RingSnapshot {
+	snap := RingSnapshot{VNodes: r.vnodes, Points: len(r.points)}
+	own := make([]float64, len(r.shards))
+	const whole = float64(1<<63) * 2 // 2^64 as float64
+	for i, p := range r.points {
+		// The arc ending at point i belongs to point i's shard.
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		own[p.shard] += float64(arc) / whole
+	}
+	for i, s := range r.shards {
+		snap.Shards = append(snap.Shards, ShardOwnership{Shard: s, Ownership: own[i], Alive: true})
+	}
+	return snap
+}

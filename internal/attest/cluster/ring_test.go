@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+}
+
+// Placement must be a pure function of the configuration: two rings built
+// from the same shard set route every key identically, regardless of the
+// order the configuration listed the shards in.
+func TestRingDeterministicPlacement(t *testing.T) {
+	r1, err := NewRing([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"c", "a", "b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2000; id++ {
+		key := DeviceKey(id)
+		if got, want := r2.Route(key), r1.Route(key); got != want {
+			t.Fatalf("device %d: configuration order changed placement: %s vs %s", id, got, want)
+		}
+	}
+}
+
+func TestRingRouteNDistinct(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 500; id++ {
+		key := DeviceKey(id)
+		set := r.RouteN(key, 3)
+		if len(set) != 3 {
+			t.Fatalf("device %d: replica set %v, want 3 distinct shards", id, set)
+		}
+		if set[0] != r.Route(key) {
+			t.Fatalf("device %d: RouteN leader %s != Route %s", id, set[0], r.Route(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range set {
+			if seen[s] {
+				t.Fatalf("device %d: duplicate shard %s in replica set %v", id, s, set)
+			}
+			seen[s] = true
+		}
+	}
+	// Clamping: asking for more replicas than shards yields all shards.
+	if got := r.RouteN(DeviceKey(1), 9); len(got) != 4 {
+		t.Fatalf("RouteN over shard count: %v, want 4 shards", got)
+	}
+	if got := r.RouteN(DeviceKey(1), 0); len(got) != 1 {
+		t.Fatalf("RouteN(0): %v, want the leader alone", got)
+	}
+}
+
+// Ownership fractions must partition the hash space: sum to 1, and with
+// enough virtual nodes no shard strays far from its fair share.
+func TestRingOwnership(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap.Points != 3*DefaultVNodes {
+		t.Fatalf("points = %d, want %d", snap.Points, 3*DefaultVNodes)
+	}
+	sum := 0.0
+	for _, s := range snap.Shards {
+		if s.Ownership <= 0 {
+			t.Fatalf("shard %s owns nothing", s.Shard)
+		}
+		if math.Abs(s.Ownership-1.0/3) > 0.15 {
+			t.Fatalf("shard %s ownership %.3f too far from fair share", s.Shard, s.Ownership)
+		}
+		sum += s.Ownership
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership sums to %.9f, want 1", sum)
+	}
+}

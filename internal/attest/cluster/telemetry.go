@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"time"
+
+	"pufatt/internal/telemetry"
+)
+
+// Cluster instruments, registered on the process-wide default registry so
+// the PR7 observability layer — /metrics, windowed history, burn-rate
+// alerts, federation — picks the distributed tier up with no extra
+// wiring. Label cardinality is bounded by the shard count (operator
+// configuration, not data).
+var (
+	routeTotal = telemetry.Default().CounterVec("cluster_route_total",
+		"Attestation requests routed by the consistent-hash ring, by shard.", "shard")
+	failoverRoutes = telemetry.Default().Counter("cluster_failover_routes_total",
+		"Requests whose ring-owner shard was down and were served by a promoted replica.")
+	promotions = telemetry.Default().CounterVec("cluster_promotions_total",
+		"Leader promotion attempts, by result (promoted, stale_refused, down, not_replica).", "result")
+	replClaims = telemetry.Default().Counter("cluster_repl_claims_total",
+		"Seed claims acknowledged through the replicated claim log.")
+	replFrames = telemetry.Default().Counter("cluster_repl_frames_total",
+		"Claim-log frames streamed leader-to-follower.")
+	replLag = telemetry.Default().Gauge("cluster_repl_lag_frames",
+		"Worst live-follower lag behind the acknowledged high-water mark, in frames (last observed group).")
+	inFlight = telemetry.Default().GaugeVec("cluster_inflight_sessions",
+		"Sessions currently admitted past a shard's admission gate.", "shard")
+	queueDepth = telemetry.Default().GaugeVec("cluster_queue_depth",
+		"Sessions currently waiting in a shard's admission queue.", "shard")
+	rejectOverload = telemetry.Default().CounterVec("cluster_reject_overload_total",
+		"Sessions rejected by admission control (503-style; never retried as transport).", "shard")
+	audits = telemetry.Default().CounterVec("cluster_claim_audits_total",
+		"Merged claim-log audits, by outcome (clean, violations).", "outcome")
+)
+
+// DefaultClusterAlertRules derives the distributed tier's burn-rate alert
+// set, sized by the same fast/slow windows the attestation rules use:
+//
+//   - overload-burn: the fraction of routed requests rejected by
+//     admission control exceeds budget (capacity, not correctness);
+//   - replication-lag: any live follower is behind the acknowledged
+//     high-water mark — with synchronous replication, a nonzero lag means
+//     a follower is down or a claim cycle failed mid-flight, which is
+//     exactly the state where the next failover trips ErrStaleReplica.
+//
+// Feed them to an AlertManager alongside attest.DefaultAlertRules (rule
+// names are disjoint).
+func DefaultClusterAlertRules(overloadBudget float64) []telemetry.Rule {
+	if overloadBudget <= 0 {
+		overloadBudget = 0.05
+	}
+	const (
+		fastWindow = time.Minute
+		slowWindow = 5 * time.Minute
+	)
+	return []telemetry.Rule{
+		{
+			Name: "cluster-overload-burn", Kind: telemetry.RuleRatio,
+			Metric:      "cluster_reject_overload_total",
+			TotalMetric: "cluster_route_total",
+			Budget:      overloadBudget,
+			FastWindow:  fastWindow, SlowWindow: slowWindow,
+		},
+		{
+			Name: "cluster-replication-lag", Kind: telemetry.RuleGaugeAbove,
+			Metric: "cluster_repl_lag_frames", Threshold: 0,
+			FastWindow: fastWindow, SlowWindow: slowWindow,
+		},
+	}
+}

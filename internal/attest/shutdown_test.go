@@ -1,0 +1,362 @@
+package attest
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression tests for the two shutdown/leak bugs in the TCP layer: the
+// guardConn watcher goroutine's lifecycle, and Server.Close's drain
+// behaviour when handlers cannot exit.
+
+// settleGoroutines waits for the goroutine count to fall back to (near)
+// the baseline; a count that never settles is a leak.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 { // tolerate runtime/test plumbing goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines grew from %d to %d:\n%s", base, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A context that is already cancelled at entry must abort I/O
+// synchronously and spawn no watcher at all: the caller's first read
+// races nothing.
+func TestGuardConnPreCancelledContext(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		client, server := net.Pipe()
+		stop := guardConn(ctx, server)
+		// The deadline must already be expired: this read fails without any
+		// goroutine having to wake up first.
+		errs := make(chan error, 1)
+		go func() {
+			_, err := server.Read(make([]byte, 1))
+			errs <- err
+		}()
+		select {
+		case err := <-errs:
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				t.Fatalf("read under pre-cancelled guard: %v, want timeout", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("read did not fail under a pre-cancelled guard")
+		}
+		stop()
+		client.Close()
+		server.Close()
+	}
+	settleGoroutines(t, base)
+}
+
+// stop() must reap the watcher regardless of how the session and the
+// cancellation interleave — including a session that finishes before the
+// watcher ever observes the context.
+func TestGuardConnStopReapsWatcher(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		client, server := net.Pipe()
+		ctx, cancel := context.WithCancel(context.Background())
+		stop := guardConn(ctx, server)
+		if i%2 == 0 {
+			// Session ends first; the context may stay live long after.
+			stop()
+			cancel()
+		} else {
+			// Cancellation races stop(); stop must still join the watcher.
+			cancel()
+			stop()
+		}
+		client.Close()
+		server.Close()
+	}
+	settleGoroutines(t, base)
+}
+
+// Once stop() has returned, a late cancellation must not poison the
+// connection: the watcher is gone, so no SetDeadline can land after the
+// caller reset deadlines for the next exchange.
+func TestGuardConnStopPreventsLateDeadline(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := guardConn(ctx, server)
+	stop()
+	cancel()
+	// Give a buggy (unreaped) watcher every chance to fire its deadline.
+	time.Sleep(20 * time.Millisecond)
+	if err := server.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Read(make([]byte, 5))
+		done <- err
+	}()
+	if _, err := server.Write([]byte("hello")); err != nil {
+		t.Fatalf("guarded-then-released conn poisoned: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+}
+
+// The watcher's job: cancellation aborts an in-flight read promptly.
+func TestGuardConnCancelAbortsRead(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := guardConn(ctx, server)
+	defer stop()
+	errs := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 1))
+		errs <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the read park
+	cancel()
+	select {
+	case err := <-errs:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("cancelled read returned %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not abort the in-flight read")
+	}
+}
+
+// wedgedAgent blocks inside Respond until released — the handler state
+// closing the connection cannot unstick (Close only aborts I/O, not
+// computation).
+type wedgedAgent struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (a *wedgedAgent) Respond(ch Challenge) (Response, float64, error) {
+	a.once.Do(func() { close(a.entered) })
+	<-a.release
+	return Response{}, 0, errors.New("released")
+}
+
+func TestServerDrainTimeoutReportsWedgedHandler(t *testing.T) {
+	agent := &wedgedAgent{entered: make(chan struct{}), release: make(chan struct{})}
+	srv := &Server{Agent: agent, DrainTimeout: 50 * time.Millisecond}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteChallenge(conn, Challenge{Session: 1, Nonce: 2, PUFSeed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-agent.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent never entered Respond")
+	}
+	start := time.Now()
+	err = srv.Close()
+	var de *DrainError
+	if !errors.As(err, &de) {
+		t.Fatalf("Close with wedged handler: %v, want DrainError", err)
+	}
+	if de.Handlers != 1 {
+		t.Fatalf("DrainError.Handlers = %d, want 1", de.Handlers)
+	}
+	if elapsed := time.Since(start); elapsed < srv.DrainTimeout {
+		t.Fatalf("Close returned after %v, before the %v drain deadline", elapsed, srv.DrainTimeout)
+	}
+	// Releasing the agent lets the abandoned handler finish; the idempotent
+	// second Close now drains clean.
+	close(agent.release)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := srv.Close(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("handler never drained after release")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Zero DrainTimeout preserves the historical contract: Close waits
+// (forever if need be) and reports nil once handlers exit.
+func TestServerCloseWithoutDrainTimeoutWaits(t *testing.T) {
+	agent := &wedgedAgent{entered: make(chan struct{}), release: make(chan struct{})}
+	srv := &Server{Agent: agent}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteChallenge(conn, Challenge{Session: 1, Nonce: 2, PUFSeed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	<-agent.entered
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("unbounded Close returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(agent.release)
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close after drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned after the handler drained")
+	}
+}
+
+// overlapAgent records whether Respond ever ran concurrently with itself.
+type overlapAgent struct {
+	inFlight   atomic.Int32
+	overlapped atomic.Bool
+}
+
+func (a *overlapAgent) Respond(ch Challenge) (Response, float64, error) {
+	if a.inFlight.Add(1) > 1 {
+		a.overlapped.Store(true)
+	}
+	time.Sleep(2 * time.Millisecond) // widen the overlap window
+	a.inFlight.Add(-1)
+	return Response{Session: ch.Session}, 1e-6, nil
+}
+
+// The server hands each connection its own goroutine but one shared
+// Agent — a stateful device that answers one challenge at a time. Respond
+// must therefore be serialised across connections: before the agentMu
+// this raced device memory (caught as a one-off -race failure when a
+// duplicated frame overlapped a redialled session's challenge).
+func TestServerSerialisesAgentAcrossConnections(t *testing.T) {
+	agent := &overlapAgent{}
+	srv := &Server{Agent: agent}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 4; i++ {
+				session := uint64(c)<<8 | uint64(i+1)
+				if err := WriteChallenge(conn, Challenge{Session: session, Nonce: 1, PUFSeed: 2}); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := ReadResponse(conn)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Session != session {
+					t.Errorf("session %d: got response for %d", session, resp.Session)
+					return
+				}
+				if _, err := readTime(conn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if agent.overlapped.Load() {
+		t.Fatal("Agent.Respond ran concurrently across connections")
+	}
+}
+
+// idleAgent answers nothing; connections in this test never send a
+// challenge, so handlers exit on EOF/close.
+type idleAgent struct{}
+
+func (idleAgent) Respond(Challenge) (Response, float64, error) {
+	return Response{}, 0, errors.New("unexpected challenge")
+}
+
+// The accept-racing-close regression: a connection accepted in the window
+// where Close is tearing the server down must either be refused by track()
+// or closed and drained — never left to wedge Close or leak its handler.
+func TestServerCloseAcceptRaceHammer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 40; i++ {
+		srv := &Server{Agent: idleAgent{}, DrainTimeout: 2 * time.Second}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dialers sync.WaitGroup
+		stopDial := make(chan struct{})
+		for d := 0; d < 4; d++ {
+			dialers.Add(1)
+			go func() {
+				defer dialers.Done()
+				for {
+					select {
+					case <-stopDial:
+						return
+					default:
+					}
+					conn, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond)
+					if err != nil {
+						return // listener gone: the race window has closed
+					}
+					conn.Close()
+				}
+			}()
+		}
+		time.Sleep(time.Duration(i%5) * 100 * time.Microsecond) // vary the race window
+		if err := srv.Close(); err != nil {
+			t.Fatalf("iteration %d: Close: %v", i, err)
+		}
+		close(stopDial)
+		dialers.Wait()
+	}
+	settleGoroutines(t, base)
+}

@@ -259,7 +259,17 @@ func ctxErr(ctx context.Context, err error) error {
 // guardConn binds a connection to a context: it applies the context
 // deadline and, on cancellation, forces in-flight I/O to fail by expiring
 // the connection deadline. The returned stop function releases the watcher
-// (it does not close the connection).
+// and does not return until it has exited (it does not close the
+// connection).
+//
+// Two lifecycle rules keep the watcher honest. A context that is already
+// cancelled at entry expires the deadline synchronously and spawns
+// nothing — the caller's very first read must fail, not race a goroutine
+// wake-up. And stop() joins the watcher before returning: without the
+// join, a cancellation racing stop() could fire SetDeadline *after* the
+// session ended and the caller had reset deadlines for the next exchange,
+// poisoning a healthy connection — and every guarded session would leak a
+// goroutine for as long as its context stayed live.
 func guardConn(ctx context.Context, conn net.Conn) (stop func()) {
 	if d, ok := ctx.Deadline(); ok {
 		_ = conn.SetDeadline(d)
@@ -267,15 +277,24 @@ func guardConn(ctx context.Context, conn net.Conn) (stop func()) {
 	if ctx.Done() == nil {
 		return func() {}
 	}
+	if ctx.Err() != nil {
+		_ = conn.SetDeadline(time.Unix(1, 0)) // long past: abort I/O now
+		return func() {}
+	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-ctx.Done():
 			_ = conn.SetDeadline(time.Unix(1, 0)) // long past: abort I/O now
 		case <-done:
 		}
 	}()
-	return func() { close(done) }
+	return func() {
+		close(done)
+		<-exited
+	}
 }
 
 // Server runs a prover service over TCP. Unlike the bare ListenAndServe
@@ -293,6 +312,13 @@ type Server struct {
 	// called for clean EOF or for the server's own shutdown). It may be
 	// called concurrently; nil discards.
 	OnError func(error)
+	// DrainTimeout bounds how long Close waits for in-flight handlers to
+	// drain after the listener and every tracked connection have been
+	// closed. Zero preserves the historical behaviour: wait forever. With a
+	// bound, an agent stuck mid-Respond (closing the conn only unblocks
+	// I/O, not computation) cannot wedge shutdown: Close returns a
+	// *DrainError naming how many handlers were abandoned.
+	DrainTimeout time.Duration
 
 	mu         sync.Mutex
 	ln         net.Listener
@@ -300,6 +326,14 @@ type Server struct {
 	wg         sync.WaitGroup
 	closed     bool
 	adminClose func() error
+
+	// agentMu serialises Agent.Respond across connections. The agent is one
+	// physical device — a stateful memory image and PUF port that answer one
+	// challenge at a time — but each connection is served on its own
+	// goroutine, so two clients (or one client whose duplicated frame left a
+	// second challenge in flight) would otherwise run Respond concurrently
+	// over shared device state.
+	agentMu sync.Mutex
 }
 
 // Start listens on the TCP address and begins serving in the background.
@@ -366,7 +400,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		s.agentMu.Lock()
 		resp, compute, err := respondTraced(s.Agent, ch, tc)
+		s.agentMu.Unlock()
 		if err != nil {
 			s.report(fmt.Errorf("attest: serve respond: %w", err))
 			return
@@ -382,15 +418,31 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// DrainError reports a shutdown that hit its drain deadline: the listener
+// and every connection are closed, but some handler goroutines (an agent
+// wedged mid-Respond, typically) had not exited when the timeout expired.
+type DrainError struct {
+	Timeout time.Duration
+	// Handlers is the number of connections still tracked when the
+	// deadline expired — a lower bound on the goroutines abandoned.
+	Handlers int
+}
+
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("attest: server close: %d handler(s) still draining after %v", e.Handlers, e.Timeout)
+}
+
 // Close shuts the server down deterministically: no new connections are
 // accepted, in-flight connections are unblocked and drained, and Close
-// returns only after every handler goroutine has exited.
+// returns only after every handler goroutine has exited — or, when a
+// DrainTimeout is set, after that bound, reporting a *DrainError for the
+// handlers it had to abandon. Close is idempotent; a second call waits out
+// the same drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.wg.Wait()
-		return nil
+		return s.drain()
 	}
 	s.closed = true
 	ln := s.ln
@@ -411,8 +463,42 @@ func (s *Server) Close() error {
 	for _, c := range open {
 		_ = c.Close()
 	}
-	s.wg.Wait()
+	if derr := s.drain(); derr != nil && err == nil {
+		err = derr
+	}
 	return err
+}
+
+// drain waits for the handler goroutines, bounded by DrainTimeout when one
+// is set.
+func (s *Server) drain() error {
+	if s.DrainTimeout <= 0 {
+		s.wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			// Every handler has untracked its connection; what remains is
+			// goroutine teardown. One more (unbounded, but now certain to be
+			// brief) wait beats reporting a phantom leak.
+			s.wg.Wait()
+			return nil
+		}
+		return &DrainError{Timeout: s.DrainTimeout, Handlers: n}
+	}
 }
 
 func (s *Server) isClosed() bool {

@@ -202,8 +202,17 @@ func (h *Handle) ChipID() int { return h.id }
 // ResponseBits implements core.ReferenceSource.
 func (h *Handle) ResponseBits() int { return h.bits }
 
-// withStore runs op against the live store, retrying once if it raced an
-// LRU eviction between fetch and use.
+// withStoreRetries bounds how often withStore re-fetches after losing the
+// fetch-to-use race against LRU eviction. One retry is enough when
+// evictions are rare, but a hot registry sized below its working set (a
+// per-shard LRU of 1 under a fleet sweep) can evict the same store several
+// times between a handle's fetch and its claim; the bound keeps a genuine
+// close loop from spinning forever while making spurious ErrClosed leaks
+// to callers practically impossible.
+const withStoreRetries = 16
+
+// withStore runs op against the live store, re-fetching (bounded) when it
+// raced an LRU eviction between fetch and use.
 func (h *Handle) withStore(op func(*Store) error) error {
 	for attempt := 0; ; attempt++ {
 		st, err := h.r.Device(h.id)
@@ -211,7 +220,7 @@ func (h *Handle) withStore(op func(*Store) error) error {
 			return err
 		}
 		err = op(st)
-		if errors.Is(err, ErrClosed) && attempt == 0 {
+		if errors.Is(err, ErrClosed) && attempt < withStoreRetries {
 			continue
 		}
 		return err

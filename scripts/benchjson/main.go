@@ -133,11 +133,33 @@ func compareMain(args []string) int {
 	criticalRegressions := 0
 	missedSpeedups := 0
 	criticalMatched := 0
+	criticalGone := 0
+	criticalBroken := 0
 	for _, name := range names {
 		o := oldNs[name]
 		n, ok := newNs[name]
 		if !ok {
-			fmt.Printf("%-50s %14.1f %14s %8s\n", name, o, "-", "gone")
+			// A benchmark present in the baseline but absent from the new
+			// snapshot is invisible to the ratio gates below. For a critical
+			// benchmark that silence would pass the gate exactly when it
+			// must not (a rename or deletion of the hot path under test), so
+			// it is a named failure rather than an informational row.
+			mark := "gone"
+			if crit.MatchString(name) {
+				mark = "GONE (critical: renamed or removed?)"
+				criticalGone++
+			}
+			fmt.Printf("%-50s %14.1f %14s %8s\n", name, o, "-", mark)
+			continue
+		}
+		// A zero ns/op sample on either side would turn the delta or the
+		// speedup ratio into NaN/Inf — which compares false against every
+		// threshold and silently passes the gate. Diagnose it by name.
+		if o <= 0 || n <= 0 {
+			fmt.Printf("%-50s %14.1f %14.1f %8s\n", name, o, n, "UNGATEABLE (zero ns/op sample)")
+			if crit.MatchString(name) {
+				criticalBroken++
+			}
 			continue
 		}
 		delta := (n - o) / o
@@ -170,6 +192,16 @@ func compareMain(args []string) int {
 	if criticalRegressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) regressed by more than %.0f%%\n",
 			criticalRegressions, 100**threshold)
+		fail = true
+	}
+	if criticalGone > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) missing from the new snapshot (renamed or removed?) — the gate cannot evaluate them\n",
+			criticalGone)
+		fail = true
+	}
+	if criticalBroken > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d critical benchmark(s) with a zero ns/op sample — the gate cannot form a ratio\n",
+			criticalBroken)
 		fail = true
 	}
 	if *minSpeedup > 0 {

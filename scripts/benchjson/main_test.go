@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name string, benches map[string]float64) string {
+	t.Helper()
+	doc := Doc{Goos: "linux", Goarch: "amd64", Pkg: "pufatt"}
+	for bname, ns := range benches {
+		doc.Benchmarks = append(doc.Benchmarks, Result{
+			Name: bname, Procs: 8, Iterations: 100,
+			Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePassesOnCleanSnapshots(t *testing.T) {
+	old := writeDoc(t, "old.json", map[string]float64{"BenchmarkFigure3": 100, "BenchmarkOther": 50})
+	new_ := writeDoc(t, "new.json", map[string]float64{"BenchmarkFigure3": 95, "BenchmarkOther": 500})
+	// The non-critical 10x regression must not gate.
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old, new_}); code != 0 {
+		t.Fatalf("clean compare exited %d", code)
+	}
+}
+
+func TestCompareFailsOnCriticalRegression(t *testing.T) {
+	old := writeDoc(t, "old.json", map[string]float64{"BenchmarkFigure3": 100})
+	new_ := writeDoc(t, "new.json", map[string]float64{"BenchmarkFigure3": 150})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old, new_}); code != 1 {
+		t.Fatalf("50%% critical regression exited %d, want 1", code)
+	}
+	// Without -strict the same regression reports but does not gate.
+	if code := compareMain([]string{"-critical", "Figure3", old, new_}); code != 0 {
+		t.Fatalf("non-strict compare exited %d", code)
+	}
+}
+
+// A 0 ns/op sample would make the delta NaN/Inf, which compares false
+// against every threshold — the gate must fail by name instead of
+// silently passing.
+func TestCompareZeroSampleIsNamedFailure(t *testing.T) {
+	old := writeDoc(t, "old.json", map[string]float64{"BenchmarkFigure3": 0})
+	new_ := writeDoc(t, "new.json", map[string]float64{"BenchmarkFigure3": 100})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old, new_}); code != 1 {
+		t.Fatalf("zero-baseline critical bench exited %d, want 1", code)
+	}
+	// Zero on the new side is just as ungateable.
+	old2 := writeDoc(t, "old2.json", map[string]float64{"BenchmarkFigure3": 100})
+	new2 := writeDoc(t, "new2.json", map[string]float64{"BenchmarkFigure3": 0})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old2, new2}); code != 1 {
+		t.Fatalf("zero-new critical bench exited %d, want 1", code)
+	}
+	// A zero sample on a non-critical benchmark reports but does not gate.
+	old3 := writeDoc(t, "old3.json", map[string]float64{"BenchmarkOther": 0, "BenchmarkFigure3": 10})
+	new3 := writeDoc(t, "new3.json", map[string]float64{"BenchmarkOther": 5, "BenchmarkFigure3": 10})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old3, new3}); code != 0 {
+		t.Fatalf("non-critical zero sample exited %d, want 0", code)
+	}
+}
+
+// A critical benchmark missing from the new snapshot (renamed or removed)
+// is invisible to the ratio gate — it must fail by name, not pass by
+// silence.
+func TestCompareMissingCriticalIsNamedFailure(t *testing.T) {
+	old := writeDoc(t, "old.json", map[string]float64{"BenchmarkFigure3": 100, "BenchmarkOther": 50})
+	new_ := writeDoc(t, "new.json", map[string]float64{"BenchmarkOther": 50})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old, new_}); code != 1 {
+		t.Fatalf("missing critical bench exited %d, want 1", code)
+	}
+	// A missing non-critical benchmark is informational only.
+	old2 := writeDoc(t, "old2.json", map[string]float64{"BenchmarkFigure3": 100, "BenchmarkOther": 50})
+	new2 := writeDoc(t, "new2.json", map[string]float64{"BenchmarkFigure3": 100})
+	if code := compareMain([]string{"-strict", "-critical", "Figure3", old2, new2}); code != 0 {
+		t.Fatalf("missing non-critical bench exited %d, want 0", code)
+	}
+}
+
+func TestCompareMinSpeedupRequiresMatch(t *testing.T) {
+	old := writeDoc(t, "old.json", map[string]float64{"BenchmarkBatch": 1000})
+	new_ := writeDoc(t, "new.json", map[string]float64{"BenchmarkBatch": 100})
+	if code := compareMain([]string{"-strict", "-critical", "Batch", "-minspeedup", "5", old, new_}); code != 0 {
+		t.Fatalf("10x speedup failed a 5x gate: exit %d", code)
+	}
+	if code := compareMain([]string{"-strict", "-critical", "Batch", "-minspeedup", "20", old, new_}); code != 1 {
+		t.Fatalf("10x speedup passed a 20x gate: exit %d", code)
+	}
+	// -minspeedup with no matching benchmark is a misconfigured gate.
+	if code := compareMain([]string{"-strict", "-critical", "Nomatch", "-minspeedup", "5", old, new_}); code != 1 {
+		t.Fatalf("unmatched -minspeedup gate exited %d, want 1", code)
+	}
+}

@@ -3,9 +3,11 @@
 #
 # Runs the tier-1 commands (build + full test suite), static vetting, the
 # race-detected attestation robustness tests (which exercise every
-# injected fault class: drop, corrupt, truncate, delay, duplicate), and
-# the race-detected parallel batch-evaluation packages plus a targeted
-# determinism smoke across the packages that fan work out to goroutines.
+# injected fault class: drop, corrupt, truncate, delay, duplicate), the
+# race-detected parallel batch-evaluation packages plus a targeted
+# determinism smoke across the packages that fan work out to goroutines,
+# the distributed verifier tier (failover, replication lag, admission),
+# and the shutdown/leak regression suite.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,5 +55,11 @@ go test -race -run 'Epoch|Reenroll|Exhaust|Kill|WALClaimsSplit' ./internal/crp/s
 
 echo "== go test -race observability v3 suite (history/alert/federation, admin under load, flight-dump uniqueness)"
 go test -race -run 'TimeSeries|Alert|Federat|Observability|DebugVars|ConcurrentFlightDump|HealthSnapshotConsistency|AdminRoute' ./internal/telemetry ./internal/attest ./cmd/pufatt-top
+
+echo "== go test -race cluster suite (leader-kill failover, replication-lag fail-closed, admission backpressure, load smoke)"
+go test -race -run 'Ring|Group|Promotion|AutoFailover|DeviceLog|Admission|Cluster|Attest|RunLoad|ReferenceResponse' ./internal/attest/cluster
+
+echo "== go test -race shutdown/leak regression suite (guardConn lifecycle, drain deadline, accept-race, eviction hammer)"
+go test -race -run 'GuardConn|ServerDrain|ServerClose|ServerSerialises|RegistryEviction' ./internal/attest ./internal/crp/store
 
 echo "verify: OK"
