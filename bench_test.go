@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -172,6 +173,63 @@ func BenchmarkAttestationProtocol(b *testing.B) {
 	}
 	b.ReportMetric(float64(accepted)/float64(b.N), "accept-rate")
 	b.ReportMetric(verifier.Delta()*1e3, "delta-ms")
+}
+
+// BenchmarkAttestationProtocolProfiled re-runs the protocol hot path with
+// the continuous profiler in its two steady states: "armed" (capture ring
+// enabled and the periodic ticker running at the default one-minute
+// cadence — the everyday production configuration, which must cost nothing
+// between captures) and "capturing" (a CPU profile actively sampling for
+// the whole run — the worst case inside the 250 ms capture window, which
+// the default duty cycle enters ~0.4% of the time). Compare ns/op against
+// BenchmarkAttestationProtocol for the overhead at each state.
+func BenchmarkAttestationProtocolProfiled(b *testing.B) {
+	params := swatt.Params{MemWords: 1024, Chunks: 8, BlocksPerChunk: 8, PRG: swatt.PRGMix32}
+	run := func(b *testing.B, prover *attest.Prover, verifier *attest.Verifier, link attest.Link) {
+		accepted := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := attest.RunSession(verifier, prover, link)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Accepted {
+				accepted++
+			}
+		}
+		b.ReportMetric(float64(accepted)/float64(b.N), "accept-rate")
+	}
+	b.Run("armed", func(b *testing.B) {
+		prover, verifier, link := protocolFixture(b, params)
+		p := telemetry.NewProfiler()
+		p.SetDir(b.TempDir())
+		stop := p.Start(telemetry.DefaultProfileInterval)
+		defer stop()
+		run(b, prover, verifier, link)
+	})
+	b.Run("capturing", func(b *testing.B) {
+		prover, verifier, link := protocolFixture(b, params)
+		p := telemetry.NewProfiler()
+		p.SetDir(b.TempDir())
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, _, _ = p.Capture("bench", telemetry.CaptureMeta{})
+			}
+		}()
+		run(b, prover, verifier, link)
+		b.StopTimer()
+		close(done)
+		wg.Wait()
+	})
 }
 
 func BenchmarkOverclockingAttack(b *testing.B) {

@@ -29,7 +29,10 @@
 // proxied device. The same thresholds derive the burn-rate alert rules
 // served at /alerts, and /metrics/history keeps an hour of windowed
 // samples (collected every -history-window) for every metric — watch both
-// live with cmd/pufatt-top.
+// live with cmd/pufatt-top. -profile-dir keeps a bounded on-disk ring of
+// pprof captures, written when an alert fires (tagged with the alert name
+// and an exemplar trace ID) and on a low-duty-cycle timer; the capture
+// index is served at /debug/profiles.
 //
 // Federation: -federate "a=http://host1:9090,b=http://host2:9090" turns
 // the process into a fleet-level observability endpoint instead of an
@@ -108,6 +111,10 @@ func main() {
 			"run as a federation endpoint instead of attesting: comma-separated name=http://host:port admin sources, scraped every -history-window and re-served merged (with per-source labels) on -metrics-addr")
 		flightDir = flag.String("flight-dir", "",
 			"write a flight-recorder dump (JSON lines of the session's protocol events) here whenever a session fails (empty = disabled)")
+		profileDir = flag.String("profile-dir", "",
+			"keep a bounded ring of pprof captures (cpu/heap/goroutine/mutex) here, taken when a burn-rate alert fires and periodically at -profile-interval; index at /debug/profiles (empty = disabled)")
+		profileInterval = flag.Duration("profile-interval", telemetry.DefaultProfileInterval,
+			"low-duty-cycle periodic profile capture interval (0 = alert-triggered captures only)")
 		sloRTT = flag.Float64("slo-rtt", 0,
 			"per-device timing SLO: p95 round-trip bound in seconds; a device over it turns suspect at /devices (0 = no timing SLO)")
 		sloFNR = flag.Float64("slo-fnr", 0.25,
@@ -145,6 +152,15 @@ func main() {
 	if *flightDir != "" {
 		attest.Metrics().SetFlightDir(*flightDir)
 		fmt.Printf("flight recorder: dumps to %s on session failure\n", *flightDir)
+	}
+	if *profileDir != "" {
+		attest.Metrics().SetProfileDir(*profileDir)
+		if *profileInterval > 0 {
+			stopProf := attest.Metrics().Profiler.Start(*profileInterval)
+			defer stopProf()
+		}
+		fmt.Printf("profiler: capture ring in %s (alert-triggered; periodic every %s), index at /debug/profiles\n",
+			*profileDir, *profileInterval)
 	}
 	slo := attest.Metrics().Health.SLO()
 	slo.MaxRTTP95 = *sloRTT

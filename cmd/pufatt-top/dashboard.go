@@ -100,6 +100,25 @@ type historyResponse struct {
 	Series        []historySeries `json:"series"`
 }
 
+// probeStatus mirrors a /probes record: one synthetic-canary row per
+// shard. Source is set only by federated endpoints.
+type probeStatus struct {
+	Source         string  `json:"source"`
+	Shard          string  `json:"shard"`
+	Alive          bool    `json:"alive"`
+	Sessions       int     `json:"sessions"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	Transport      int     `json:"transport"`
+	Overloaded     int     `json:"overloaded"`
+	Errors         int     `json:"errors"`
+	LastVerdict    string  `json:"last_verdict"`
+	LastReason     string  `json:"last_reason"`
+	LastRTTSeconds float64 `json:"last_rtt_seconds"`
+	LastTrace      string  `json:"last_trace"`
+	SeedsRemaining int     `json:"seeds_remaining"`
+}
+
 // snapshot is one refresh worth of admin-surface state. Endpoints that
 // failed to fetch leave their zero value and append to Errs — a dashboard
 // that dies because one route hiccuped is worse than a partial frame.
@@ -110,6 +129,8 @@ type snapshot struct {
 	Devices   []deviceHealth
 	Alerts    []alertStatus
 	History   historyResponse
+	Probes    []probeStatus
+	HasProbes bool // /probes answered (even with an empty list)
 	Errs      []string
 }
 
@@ -146,6 +167,12 @@ func fetchSnapshot(client *http.Client, base string, now time.Time) snapshot {
 	}
 	if err := fetchJSON(client, base, "/metrics/history", &snap.History); err != nil {
 		snap.Errs = append(snap.Errs, err.Error())
+	}
+	// /probes only exists on cluster admin surfaces; a plain verifier 404s
+	// with an HTML body, which fails the decode. Treat that as "no probe
+	// tier", not a fetch error.
+	if err := fetchJSON(client, base, "/probes", &snap.Probes); err == nil {
+		snap.HasProbes = true
 	}
 	return snap
 }
@@ -321,6 +348,7 @@ func render(w io.Writer, snap snapshot, opts renderOptions) {
 
 	renderAlerts(w, snap.Alerts, opts)
 	renderSeries(w, snap.History, opts)
+	renderProbes(w, snap, opts)
 	renderDevices(w, snap.Devices, opts)
 }
 
@@ -427,6 +455,94 @@ func lastExemplar(s historySeries) string {
 		}
 	}
 	return ""
+}
+
+// probeAlertPrefix is the per-shard probe-failure rule family; the shard id
+// follows the slash (see cluster.ProbeAlertRules).
+const probeAlertPrefix = "cluster-probe-failure/"
+
+// renderProbes shows the synthetic-canary view of each shard: verdict of
+// the last probe session, counters, RTT, and whether the shard's
+// probe-failure burn rule is firing. A shard whose canary has run zero
+// sessions renders as "no data" — absence of probe evidence is not health.
+func renderProbes(w io.Writer, snap snapshot, opts renderOptions) {
+	if !snap.HasProbes {
+		return
+	}
+	firing := make(map[string]bool)
+	for _, a := range snap.Alerts {
+		if a.State == "firing" && strings.HasPrefix(a.Name, probeAlertPrefix) {
+			firing[strings.TrimPrefix(a.Name, probeAlertPrefix)] = true
+		}
+	}
+	probes := make([]probeStatus, len(snap.Probes))
+	copy(probes, snap.Probes)
+	sort.SliceStable(probes, func(i, j int) bool {
+		if probes[i].Source != probes[j].Source {
+			return probes[i].Source < probes[j].Source
+		}
+		return probes[i].Shard < probes[j].Shard
+	})
+	firingTotal := 0
+	for _, p := range probes {
+		if firing[p.Shard] {
+			firingTotal++
+		}
+	}
+	fmt.Fprintf(w, "%s (%d shards, %d probe alerts firing)\n",
+		opts.paint(ansiBold, "SHARD PROBES"), len(probes), firingTotal)
+	if len(probes) == 0 {
+		fmt.Fprintf(w, "  %s\n", opts.paint(ansiDim, "no prober attached"))
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "  %-16s %-6s %-10s %5s %5s %5s %10s %7s  %s\n",
+		"SHARD", "ALIVE", "VERDICT", "OK", "REJ", "ERR", "LASTRTT", "SEEDS", "NOTES")
+	for _, p := range probes {
+		name := p.Shard
+		if p.Source != "" {
+			name = p.Source + "/" + p.Shard
+		}
+		alive := "up"
+		if !p.Alive {
+			alive = opts.paint(ansiRed, "down")
+		}
+		verdict, rtt := probeVerdictCell(p, opts)
+		notes := p.LastReason
+		if firing[p.Shard] {
+			alert := opts.paint(ansiRed, "ALERT "+probeAlertPrefix+p.Shard)
+			if notes != "" {
+				notes = alert + "; " + notes
+			} else {
+				notes = alert
+			}
+		} else {
+			notes = opts.paint(ansiDim, notes)
+		}
+		errs := p.Transport + p.Overloaded + p.Errors
+		fmt.Fprintf(w, "  %-16s %-6s %-10s %5d %5d %5d %10s %7d  %s\n",
+			name, alive, verdict, p.Accepted, p.Rejected, errs, rtt, p.SeedsRemaining, notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// probeVerdictCell renders the last-verdict and RTT columns. Zero sessions
+// means the canary has never run: that is "no data", deliberately distinct
+// from any healthy or failing verdict.
+func probeVerdictCell(p probeStatus, opts renderOptions) (verdict, rtt string) {
+	if p.Sessions == 0 {
+		return opts.paint(ansiYellow, "no data"), "-"
+	}
+	rtt = fmt.Sprintf("%.4fs", p.LastRTTSeconds)
+	switch p.LastVerdict {
+	case "accepted":
+		return opts.paint(ansiGreen, p.LastVerdict), rtt
+	case "rejected":
+		return opts.paint(ansiRed, p.LastVerdict), rtt
+	case "":
+		return opts.paint(ansiDim, "?"), rtt
+	}
+	return opts.paint(ansiYellow, p.LastVerdict), rtt
 }
 
 func renderDevices(w io.Writer, devices []deviceHealth, opts renderOptions) {

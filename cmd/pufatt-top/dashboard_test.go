@@ -214,6 +214,95 @@ func TestSeedsColumnUnbounded(t *testing.T) {
 	}
 }
 
+// The probe panel's contract: a shard with a firing canary alert is flagged
+// in its NOTES, and a shard with zero probe sessions renders "no data" — the
+// absence of probe evidence must never display as healthy.
+func TestRenderProbesPanel(t *testing.T) {
+	snap := renderedFixture()
+	snap.HasProbes = true
+	snap.Probes = []probeStatus{
+		{Shard: "shard-0", Alive: true, Sessions: 4, Accepted: 4,
+			LastVerdict: "accepted", LastRTTSeconds: 0.0021, SeedsRemaining: 12},
+		{Shard: "shard-1", Alive: true, Sessions: 4, Transport: 4,
+			LastVerdict: "transport", LastReason: "link: dropped", SeedsRemaining: 12},
+		{Shard: "shard-2", Alive: true, Sessions: 0, SeedsRemaining: 16},
+	}
+	snap.Alerts = append(snap.Alerts, alertStatus{
+		Name: "cluster-probe-failure/shard-1", State: "firing",
+		Metric: "cluster_probe_failures_total", FastBurn: 8.2, Fired: 1,
+	})
+
+	var b strings.Builder
+	render(&b, snap, renderOptions{Color: false})
+	out := b.String()
+	for _, want := range []string{
+		"SHARD PROBES (3 shards, 1 probe alerts firing)",
+		"accepted",
+		"ALERT cluster-probe-failure/shard-1",
+		"link: dropped",
+		"no data",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("probe panel missing %q\nframe:\n%s", want, out)
+		}
+	}
+	// The unprobed shard must not borrow a healthy verdict or a stale RTT.
+	shard2 := out[strings.Index(out, "shard-2"):]
+	if nl := strings.IndexByte(shard2, '\n'); nl >= 0 {
+		shard2 = shard2[:nl]
+	}
+	if strings.Contains(shard2, "accepted") || !strings.Contains(shard2, "no data") {
+		t.Errorf("zero-session shard row must read as no data, not healthy: %q", shard2)
+	}
+
+	// A verifier without a probe tier renders no probe section at all.
+	b.Reset()
+	plain := renderedFixture()
+	render(&b, plain, renderOptions{})
+	if strings.Contains(b.String(), "SHARD PROBES") {
+		t.Errorf("snapshot without probe data grew a probe section:\n%s", b.String())
+	}
+}
+
+// /probes is cluster-only: a 404 from a plain verifier is version skew to
+// tolerate, not a fetch error; a live endpoint flips HasProbes on.
+func TestFetchSnapshotProbesTolerant(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"status": "ok", "devices": 1, "ok": 1}`))
+	})
+	mux.HandleFunc("/devices", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`[]`))
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`[]`))
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"window_seconds": 5}`))
+	})
+	srv := httptest.NewServer(mux) // no /probes: stdlib mux 404s with HTML
+	defer srv.Close()
+
+	snap := fetchSnapshot(srv.Client(), srv.URL, time.Unix(1700000000, 0))
+	if len(snap.Errs) != 0 {
+		t.Fatalf("404 on /probes surfaced as fetch errors: %v", snap.Errs)
+	}
+	if snap.HasProbes {
+		t.Fatal("HasProbes set with no probe endpoint")
+	}
+
+	mux.HandleFunc("/probes", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`[{"shard": "shard-0", "alive": true, "sessions": 2, "accepted": 2, "last_verdict": "accepted", "last_rtt_seconds": 0.003, "seeds_remaining": 6}]`))
+	})
+	snap = fetchSnapshot(srv.Client(), srv.URL, time.Unix(1700000001, 0))
+	if !snap.HasProbes || len(snap.Probes) != 1 || snap.Probes[0].Shard != "shard-0" {
+		t.Fatalf("probe fetch = hasProbes=%v probes=%+v", snap.HasProbes, snap.Probes)
+	}
+	if snap.Probes[0].SeedsRemaining != 6 || snap.Probes[0].LastVerdict != "accepted" {
+		t.Fatalf("probe fields lost in decode: %+v", snap.Probes[0])
+	}
+}
+
 func TestFetchSnapshotUnreachable(t *testing.T) {
 	client := &http.Client{Timeout: 200 * time.Millisecond}
 	snap := fetchSnapshot(client, "http://127.0.0.1:1", time.Unix(0, 0))

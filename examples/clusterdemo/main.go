@@ -12,8 +12,12 @@
 // sweeps the fleet once, kills the busiest shard, sweeps again (every
 // route through the dead shard fails over automatically), and then runs
 // the merged claim-log audit: replica logs must be prefixes of one
-// history and no seed may ever be claimed twice. It finishes by starting
-// the admin surface and fetching /ring — the placement view — from it.
+// history and no seed may ever be claimed twice. A synthetic canary
+// prober then runs one end-to-end attestation session against every
+// shard — on an isolated seed budget, so it can never burn production
+// seeds — proving the live shards protocol-correct and flagging the dead
+// one. It finishes by starting the admin surface and fetching /ring (the
+// placement view) and /probes (the canary view) from it.
 //
 //	go run ./examples/clusterdemo
 package main
@@ -133,8 +137,24 @@ func main() {
 		log.Fatal("audit not clean")
 	}
 
+	// Synthetic canary probing: each shard gets its own canary device on a
+	// private seed budget — isolated from every enrolled device — and runs
+	// a real end-to-end attestation session through that shard's admission
+	// gate. A shard with zero organic traffic still gets a verdict; the
+	// dead shard's canary reports an error instead of silence.
+	prober, err := cluster.NewProber(c, cluster.ProberConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober.ProbeAll(context.Background())
+	fmt.Println("== canary probes (one synthetic session per shard)")
+	for _, st := range prober.Status() {
+		fmt.Printf("   %s alive=%-5v verdict=%-8s rtt=%.4fs seeds-left=%d %s\n",
+			st.Shard, st.Alive, st.LastVerdict, st.LastRTTSeconds, st.SeedsRemaining, st.LastReason)
+	}
+
 	// The admin surface: /ring is the placement view, /cluster the
-	// per-device replication state.
+	// per-device replication state, /probes the canary statuses.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

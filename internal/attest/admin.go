@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"pufatt/internal/telemetry"
 )
@@ -44,6 +45,8 @@ func adminGet(contentType string, fn func(http.ResponseWriter, *http.Request)) h
 //	/debug/vars       expvar-style JSON of every registered metric
 //	/debug/traces     recent attestation span trees as JSON
 //	/debug/journal    the flight recorder's retained protocol events as JSON
+//	/debug/profiles   the profile ring's sidecar index as JSON, newest
+//	                  first; ?n= limits the entry count
 //	/devices          per-device health snapshots (SLO judgements) as JSON
 //	/healthz          fleet-wide health summary; HTTP 503 when any device is
 //	                  suspect, 200 otherwise
@@ -79,6 +82,18 @@ func AdminMux(t *Telemetry) *http.ServeMux {
 	}))
 	mux.HandleFunc("/debug/journal", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Journal.WriteJSON(w)
+	}))
+	mux.HandleFunc("/debug/profiles", adminGet(adminContentJSON, func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("attest: bad n %q", raw), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		_ = t.Profiler.WriteJSON(w, limit)
 	}))
 	mux.HandleFunc("/devices", adminGet(adminContentJSON, func(w http.ResponseWriter, _ *http.Request) {
 		_ = t.Health.WriteJSON(w)

@@ -21,7 +21,7 @@ import (
 
 var adminJSONRoutes = []string{
 	"/metrics/history", "/alerts", "/debug/vars", "/debug/traces",
-	"/debug/journal", "/devices", "/healthz",
+	"/debug/journal", "/debug/profiles", "/devices", "/healthz",
 }
 
 func TestAdminRouteMethodsAndContentTypes(t *testing.T) {
@@ -84,14 +84,16 @@ func TestAdminRouteMethodsAndContentTypes(t *testing.T) {
 		}
 	}
 
-	// A malformed history range query is a client error, not a 500.
-	resp, err := client.Get(srv.URL + "/metrics/history?start=bogus")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad range query: status %d, want 400", resp.StatusCode)
+	// Malformed queries are client errors, not 500s.
+	for _, path := range []string{"/metrics/history?start=bogus", "/debug/profiles?n=bogus", "/debug/profiles?n=-1"} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
 	}
 }
 

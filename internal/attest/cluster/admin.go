@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"pufatt/internal/attest"
@@ -15,6 +16,8 @@ import (
 //	          vnode counts, and liveness
 //	/cluster  enrolled devices with their replica sets, current leaders,
 //	          applied log sequences, and acknowledged high-water marks
+//	/probes   per-shard synthetic canary statuses (empty array until a
+//	          Prober is attached); ?shard= filters to one shard
 //
 // A nil Telemetry serves the package default (where the cluster metrics
 // live).
@@ -29,6 +32,31 @@ func AdminMux(c *Cluster, t *attest.Telemetry) *http.ServeMux {
 	}))
 	mux.HandleFunc("/cluster", adminGet(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.Snapshot())
+	}))
+	mux.HandleFunc("/probes", adminGet(func(w http.ResponseWriter, r *http.Request) {
+		var statuses []ProbeStatus
+		if p := c.Prober(); p != nil {
+			statuses = p.Status()
+		}
+		if shard := r.URL.Query().Get("shard"); shard != "" {
+			if c.Shard(shard) == nil {
+				http.Error(w, fmt.Sprintf("cluster: unknown shard %q", shard), http.StatusBadRequest)
+				return
+			}
+			filtered := statuses[:0]
+			for _, st := range statuses {
+				if st.Shard == shard {
+					filtered = append(filtered, st)
+				}
+			}
+			statuses = filtered
+		}
+		if statuses == nil {
+			// An empty array, not null: federation and dashboards treat the
+			// body as a list unconditionally.
+			statuses = []ProbeStatus{}
+		}
+		writeJSON(w, statuses)
 	}))
 	return mux
 }

@@ -43,18 +43,21 @@ func IsOverload(err error) bool {
 // Admission is one shard's admission gate.
 type Admission struct {
 	shard string
+	met   *Metrics
 	slots chan struct{} // in-flight capacity
 	queue chan struct{} // waiting capacity (may be nil: reject immediately)
 }
 
 // NewAdmission builds a gate admitting maxInFlight concurrent sessions
 // with maxQueue waiters behind them. maxInFlight <= 0 defaults to 32;
-// maxQueue <= 0 means no queue (full slots reject immediately).
+// maxQueue <= 0 means no queue (full slots reject immediately). The gate
+// records into the package-default metrics until its cluster rebinds it
+// (SetTelemetry).
 func NewAdmission(shard string, maxInFlight, maxQueue int) *Admission {
 	if maxInFlight <= 0 {
 		maxInFlight = 32
 	}
-	a := &Admission{shard: shard, slots: make(chan struct{}, maxInFlight)}
+	a := &Admission{shard: shard, met: defaultMetrics, slots: make(chan struct{}, maxInFlight)}
 	if maxQueue > 0 {
 		a.queue = make(chan struct{}, maxQueue)
 	}
@@ -66,39 +69,47 @@ func NewAdmission(shard string, maxInFlight, maxQueue int) *Admission {
 // *OverloadError when the queue is full, or a terminal attest.ErrCancelled
 // when ctx ends while queued.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	release, _, err = a.acquire(ctx)
+	return release, err
+}
+
+// acquire is Acquire reporting whether the session actually waited in the
+// queue — the cluster's queue.wait span timing only observes waits, so the
+// uncontended fast path cannot bury the latency signal in zeros.
+func (a *Admission) acquire(ctx context.Context) (release func(), queued bool, err error) {
 	release = func() {
 		<-a.slots
-		inFlight.With(a.shard).Set(float64(len(a.slots)))
+		a.met.InFlight.With(a.shard).Set(float64(len(a.slots)))
 	}
 	select {
 	case a.slots <- struct{}{}:
-		inFlight.With(a.shard).Set(float64(len(a.slots)))
-		return release, nil
+		a.met.InFlight.With(a.shard).Set(float64(len(a.slots)))
+		return release, false, nil
 	default:
 	}
 	if a.queue == nil {
-		rejectOverload.With(a.shard).Inc()
-		return nil, &OverloadError{Shard: a.shard, InFlight: len(a.slots)}
+		a.met.RejectOverload.With(a.shard).Inc()
+		return nil, false, &OverloadError{Shard: a.shard, InFlight: len(a.slots)}
 	}
 	select {
 	case a.queue <- struct{}{}:
 	default:
-		rejectOverload.With(a.shard).Inc()
-		return nil, &OverloadError{Shard: a.shard, InFlight: len(a.slots), Queued: len(a.queue)}
+		a.met.RejectOverload.With(a.shard).Inc()
+		return nil, false, &OverloadError{Shard: a.shard, InFlight: len(a.slots), Queued: len(a.queue)}
 	}
-	queueDepth.With(a.shard).Set(float64(len(a.queue)))
+	a.met.QueueDepth.With(a.shard).Set(float64(len(a.queue)))
 	defer func() {
 		<-a.queue
-		queueDepth.With(a.shard).Set(float64(len(a.queue)))
+		a.met.QueueDepth.With(a.shard).Set(float64(len(a.queue)))
 	}()
 	select {
 	case a.slots <- struct{}{}:
-		inFlight.With(a.shard).Set(float64(len(a.slots)))
-		return release, nil
+		a.met.InFlight.With(a.shard).Set(float64(len(a.slots)))
+		return release, true, nil
 	case <-ctx.Done():
 		// The caller gave up while queued: terminal, not overload (the
 		// shard refused nothing) and not transport (nothing was lost).
-		return nil, fmt.Errorf("%w: while queued on shard %s: %v", attest.ErrCancelled, a.shard, ctx.Err())
+		return nil, true, fmt.Errorf("%w: while queued on shard %s: %v", attest.ErrCancelled, a.shard, ctx.Err())
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -82,6 +83,17 @@ type Cluster struct {
 	shards map[string]*Shard
 	order  []string
 
+	// met and tel are the observability bindings: the metric set and the
+	// attestation telemetry bundle (tracer, history, alerts) the cluster
+	// records into. Defaults are the process-wide instruments; tests and
+	// multi-cluster processes rebind with SetTelemetry.
+	met *Metrics
+	tel *attest.Telemetry
+
+	// prober is the synthetic canary attached with NewProber, so the admin
+	// surface can serve /probes without threading the prober around.
+	prober atomic.Pointer[Prober]
+
 	mu       sync.Mutex
 	groups   map[int]*Group
 	bindings map[int]*binding
@@ -99,6 +111,8 @@ func New(cfg Config) (*Cluster, error) {
 		ring:     ring,
 		shards:   make(map[string]*Shard, len(cfg.Shards)),
 		order:    ring.Shards(),
+		met:      defaultMetrics,
+		tel:      attest.Metrics(),
 		groups:   make(map[int]*Group),
 		bindings: make(map[int]*binding),
 	}
@@ -109,6 +123,26 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// SetTelemetry rebinds the cluster — and every shard's admission gate — to
+// an explicit attestation telemetry bundle: sessions, spans, and cluster
+// metrics all record against t's tracer and registry. Call before serving
+// traffic; tests use it to observe the cluster with exact counters and an
+// injected clock.
+func (c *Cluster) SetTelemetry(t *attest.Telemetry) {
+	c.met = NewMetrics(t.Registry)
+	c.tel = t
+	for _, sh := range c.shards {
+		sh.adm.met = c.met
+	}
+}
+
+// Telemetry returns the attestation telemetry bundle the cluster records
+// into.
+func (c *Cluster) Telemetry() *attest.Telemetry { return c.tel }
+
+// Metrics returns the cluster's metric set.
+func (c *Cluster) Metrics() *Metrics { return c.met }
 
 // Ring returns the cluster's placement ring.
 func (c *Cluster) Ring() *Ring { return c.ring }
@@ -217,6 +251,12 @@ func (c *Cluster) Devices() []int {
 // accept path: ring routing, liveness failover, admission control, then
 // the standard retry loop over the device's bound agent. Overload and
 // leadership refusals return before any seed is claimed.
+//
+// The whole path runs under one "cluster.attest" root span with children
+// for each distributed phase — route, queue.wait, the session itself
+// (which adopts this trace via WithTraceParent), and the replication
+// acknowledge cycle recorded by the group — so /debug/traces attributes
+// end-to-end latency across every layer that can inflate it.
 func (c *Cluster) Attest(ctx context.Context, id int, policy attest.RetryPolicy) (attest.Result, int, error) {
 	c.mu.Lock()
 	g := c.groups[id]
@@ -225,26 +265,57 @@ func (c *Cluster) Attest(ctx context.Context, id int, policy attest.RetryPolicy)
 	if g == nil || b == nil {
 		return attest.Result{}, 0, fmt.Errorf("cluster: device %d not enrolled and bound", id)
 	}
+	tracer := c.tel.Tracer
+	sp := tracer.StartSpan("cluster.attest")
+	defer sp.Finish()
+	sp.SetAttr("device", strconv.Itoa(id))
+
+	spRoute := sp.Child("route")
 	shardID := c.ring.Route(DeviceKey(id))
-	routeTotal.With(shardID).Inc()
+	c.met.RouteTotal.With(shardID).Inc()
 	if !c.shardAlive(shardID) {
 		// The ring owner is down: serve from the group's current leader
 		// (promoting, fail-closed, when the config allows).
 		lead, err := g.Leader()
 		if err != nil {
+			spRoute.SetAttr("error", err.Error())
+			spRoute.Finish()
 			return attest.Result{}, 0, err
 		}
 		shardID = lead
-		failoverRoutes.Inc()
+		spRoute.SetAttr("failover", "true")
+		c.met.FailoverRoutes.Inc()
 	}
-	release, err := c.shards[shardID].adm.Acquire(ctx)
+	spRoute.SetAttr("shard", shardID)
+	spRoute.Finish()
+
+	spWait := sp.Child("queue.wait")
+	spWait.SetAttr("shard", shardID)
+	waitStart := tracer.Now()
+	release, queued, err := c.shards[shardID].adm.acquire(ctx)
+	if queued {
+		// Only sessions that actually queued are observed: the uncontended
+		// fast path would bury the p99 in zeros. The root trace ID rides as
+		// the bucket exemplar, linking the history point to this trace.
+		c.met.QueueWait.ObserveExemplar(tracer.Now().Sub(waitStart).Seconds(), uint64(sp.TraceID()))
+		spWait.SetAttr("queued", "true")
+	}
 	if err != nil {
+		spWait.SetAttr("error", err.Error())
+		spWait.Finish()
 		return attest.Result{}, 0, err
 	}
+	spWait.Finish()
 	defer release()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return attest.RunSessionRetryContext(ctx, b.verifier, b.agent, b.link, policy)
+	// The group's claim path (seed replication) runs inside the session;
+	// publishing the root span lets replicateLocked hang its repl.ack span
+	// under this trace. The binding mutex serialises sessions per device,
+	// so one active span per group suffices.
+	g.active.Store(sp)
+	defer g.active.Store(nil)
+	return c.tel.RunSessionRetry(attest.WithTraceParent(ctx, sp.Context()), b.verifier, b.agent, b.link, policy)
 }
 
 // SweepOutcome is one device's result from a cluster sweep.
@@ -372,9 +443,9 @@ func (c *Cluster) AuditClaims() Audit {
 		}
 	}
 	if audit.Clean() {
-		audits.With("clean").Inc()
+		c.met.Audits.With("clean").Inc()
 	} else {
-		audits.With("violations").Inc()
+		c.met.Audits.With("violations").Inc()
 	}
 	return audit
 }

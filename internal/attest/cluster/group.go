@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pufatt/internal/crp"
 	"pufatt/internal/crp/store"
+	"pufatt/internal/telemetry"
 )
 
 // Typed leadership errors. Both are terminal session errors — they mean
@@ -34,6 +36,12 @@ var (
 type Group struct {
 	c      *Cluster
 	device int
+
+	// active is the cluster.attest root span of the session currently
+	// holding the device's binding mutex (nil outside a session). The
+	// claim path hangs its repl.ack span under it so replication latency
+	// lands in the same trace as routing, queueing, and the session.
+	active atomic.Pointer[telemetry.Span]
 
 	mu       sync.Mutex
 	enr      *Enrollment
@@ -134,20 +142,20 @@ func (g *Group) promoteLocked(shard string) error {
 		}
 	}
 	if idx < 0 {
-		promotions.With("not_replica").Inc()
+		g.c.met.Promotions.With("not_replica").Inc()
 		return fmt.Errorf("cluster: shard %s is not a replica of device %d", shard, g.device)
 	}
 	if !g.c.shardAlive(shard) {
-		promotions.With("down").Inc()
+		g.c.met.Promotions.With("down").Inc()
 		return fmt.Errorf("cluster: promoting device %d: shard %s: %w", g.device, shard, ErrShardDown)
 	}
 	if applied := g.logs[shard].applied(); applied < g.hwm {
-		promotions.With("stale_refused").Inc()
+		g.c.met.Promotions.With("stale_refused").Inc()
 		return fmt.Errorf("%w: device %d shard %s applied %d < hwm %d",
 			ErrStaleReplica, g.device, shard, applied, g.hwm)
 	}
 	if idx != g.leader {
-		promotions.With("promoted").Inc()
+		g.c.met.Promotions.With("promoted").Inc()
 	}
 	g.leader = idx
 	return nil
@@ -172,7 +180,7 @@ func (g *Group) NextUnusedWithEpoch() (uint64, uint32, error) {
 	if err := g.replicateLocked(lead, store.ClaimFrame(seed)); err != nil {
 		return 0, 0, err
 	}
-	replClaims.Inc()
+	g.c.met.ReplClaims.Inc()
 	return seed, log.epoch, nil
 }
 
@@ -204,9 +212,31 @@ func (g *Group) nextUnusedLocked(log *deviceLog) (uint64, bool) {
 // (histories diverged); the claim is burned on the leader and never
 // released.
 func (g *Group) replicateLocked(lead string, frame []byte) error {
+	// When a cluster.attest session published its root span, the whole
+	// acknowledge cycle records under it as repl.ack with one repl.follower
+	// child per live follower streamed to — the trace's answer to "where
+	// did replication time go, and to whom".
+	tracer := g.c.tel.Tracer
+	var spAck *telemetry.Span
+	if root := g.active.Load(); root != nil {
+		spAck = root.Child("repl.ack")
+		spAck.SetAttr("leader", lead)
+	}
+	ackStart := tracer.Now()
+	finishAck := func() {
+		if spAck != nil {
+			spAck.Finish()
+		}
+		g.c.met.ReplAck.Observe(tracer.Now().Sub(ackStart).Seconds())
+	}
+
 	log := g.logs[lead]
 	seq := log.applied() + 1
 	if err := log.apply(seq, frame); err != nil {
+		if spAck != nil {
+			spAck.SetAttr("error", err.Error())
+		}
+		finishAck()
 		return fmt.Errorf("cluster: leader %s append for device %d: %w", lead, g.device, err)
 	}
 	g.acked[lead] = seq
@@ -214,22 +244,38 @@ func (g *Group) replicateLocked(lead string, frame []byte) error {
 		if sid == lead || !g.c.shardAlive(sid) {
 			continue
 		}
+		var spf *telemetry.Span
+		if spAck != nil {
+			spf = spAck.Child("repl.follower")
+			spf.SetAttr("shard", sid)
+		}
 		follower := g.logs[sid]
 		for s := follower.applied() + 1; s <= seq; s++ {
 			if err := follower.apply(s, log.frames[s-1]); err != nil {
+				if spf != nil {
+					spf.SetAttr("error", err.Error())
+					spf.Finish()
+				}
+				finishAck()
 				return fmt.Errorf("cluster: replicating seq %d for device %d to %s: %w", s, g.device, sid, err)
 			}
-			replFrames.Inc()
+			g.c.met.ReplFrames.Inc()
 		}
 		g.acked[sid] = seq
+		if spf != nil {
+			spf.Finish()
+		}
 	}
 	g.hwm = seq
 	g.observeLagLocked()
+	finishAck()
 	return nil
 }
 
 // observeLagLocked reports the group's worst follower lag (in frames
-// behind the high-water mark, live replicas only) to the lag gauge.
+// behind the high-water mark, live replicas only) to the lag gauge, which
+// aggregates the max across groups — a healthy group's zero must not mask
+// another group's lag.
 func (g *Group) observeLagLocked() {
 	var worst uint64
 	for _, sid := range g.replicas {
@@ -240,7 +286,7 @@ func (g *Group) observeLagLocked() {
 			worst = g.hwm - a
 		}
 	}
-	replLag.Set(float64(worst))
+	g.c.met.observeLag(g.device, worst)
 }
 
 // CommitEpoch replicates an epoch transition frame — the cutover commit

@@ -61,7 +61,15 @@ func secondsToDuration(s float64) time.Duration {
 // can correlate the journal with the span tree. attempt is the 0-based
 // retry index, folded into the device health observation.
 func (t *Telemetry) runSession(v *Verifier, agent ProverAgent, link Link, attempt int) (Result, telemetry.TraceID, error) {
-	sp := t.Tracer.StartSpan("attest.session")
+	return t.runSessionIn(telemetry.TraceContext{}, v, agent, link, attempt)
+}
+
+// runSessionIn is runSession adopted into an existing trace: a valid
+// parent makes the session span a member of the caller's trace (the
+// cluster tier stitches its route/queue/replication spans around the
+// session this way), an invalid one opens a fresh trace as before.
+func (t *Telemetry) runSessionIn(parent telemetry.TraceContext, v *Verifier, agent ProverAgent, link Link, attempt int) (Result, telemetry.TraceID, error) {
+	sp := t.Tracer.StartSpanInTrace("attest.session", parent)
 	defer sp.Finish()
 	trace := sp.TraceID()
 	device := v.Device

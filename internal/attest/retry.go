@@ -240,6 +240,14 @@ func RunSessionRetryContext(ctx context.Context, v *Verifier, agent ProverAgent,
 	return tel.runSessionRetry(ctx, v, agent, link, policy)
 }
 
+// RunSessionRetry is the retry loop against this explicit telemetry
+// bundle — the entry point for callers (the cluster tier, tests) that
+// record into their own registry rather than the package default. It
+// honours a trace parent installed with WithTraceParent.
+func (t *Telemetry) RunSessionRetry(ctx context.Context, v *Verifier, agent ProverAgent, link Link, policy RetryPolicy) (Result, int, error) {
+	return t.runSessionRetry(ctx, v, agent, link, policy)
+}
+
 // runSessionRetry is the retry loop against an explicit telemetry bundle.
 // It is also the failure boundary: a terminal transport error feeds the
 // device health registry (an availability datum) and — like a rejected
@@ -250,12 +258,13 @@ func (t *Telemetry) runSessionRetry(ctx context.Context, v *Verifier, agent Prov
 		res   Result
 		trace telemetry.TraceID
 	)
+	parent, _ := TraceParent(ctx)
 	attempts, err := policy.do(t, v.Device, func(attempt int) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return fmt.Errorf("%w: %v", ErrCancelled, cerr)
 		}
 		var opErr error
-		res, trace, opErr = t.runSession(v, agent, link, attempt)
+		res, trace, opErr = t.runSessionIn(parent, v, agent, link, attempt)
 		return opErr
 	})
 	switch {

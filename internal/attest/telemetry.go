@@ -42,6 +42,16 @@ type Telemetry struct {
 	// Alerts evaluates SLO burn-rate rules against History and journals
 	// firing/resolution transitions; served at /alerts.
 	Alerts *telemetry.AlertManager
+	// Runtime samples the Go runtime (GC pauses, sched latency, heap,
+	// goroutines) into this bundle's registry on every ObserveFleet, so
+	// burn-rate rules can judge the runtime's own latency against the
+	// protocol time bound.
+	Runtime *telemetry.RuntimeCollector
+	// Profiler is the bounded on-disk profile ring (see profile.go for the
+	// directory knob). Captures fire periodically at a low duty cycle and
+	// whenever a burn-rate alert transitions to firing; the sidecar index
+	// is served at /debug/profiles.
+	Profiler *telemetry.Profiler
 
 	// Frame codec.
 	FramesSent     *telemetry.CounterVec // attest_frames_sent_total{type}
@@ -86,6 +96,13 @@ type Telemetry struct {
 	// SLO burn-rate alerting (PR 7).
 	AlertTransitions *telemetry.CounterVec // attest_alert_transitions_total{event}
 	AlertsFiring     *telemetry.Gauge      // attest_alerts_firing
+
+	// Continuous profiling (PR 10): completed captures by trigger, and
+	// triggers dropped by the single-flight guard (concurrent CPU profiles
+	// cannot stack, so a suppressed trigger is a counted signal, not an
+	// error).
+	ProfileCaptures   *telemetry.CounterVec // telemetry_profile_captures_total{trigger}
+	ProfileSuppressed *telemetry.Counter    // telemetry_profile_suppressed_total
 
 	// Flight-recorder state (see flight.go). The dump sequence number is
 	// process-wide (flight.go), not per-bundle, so bundles sharing a
@@ -162,8 +179,16 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 			"SLO burn-rate alert lifecycle transitions, by event (firing, resolved).", "event"),
 		AlertsFiring: reg.Gauge("attest_alerts_firing",
 			"Burn-rate alerts currently firing."),
+
+		ProfileCaptures: reg.CounterVec("telemetry_profile_captures_total",
+			"Completed profile-ring captures, by trigger (periodic, manual, or the firing alert's name).", "trigger"),
+		ProfileSuppressed: reg.Counter("telemetry_profile_suppressed_total",
+			"Profile triggers dropped by the single-flight guard while a capture was in progress."),
 	}
 	t.History = telemetry.NewTimeSeries(reg, 0, 0)
+	t.Runtime = telemetry.NewRuntimeCollector(reg)
+	t.Profiler = telemetry.NewProfiler()
+	t.Profiler.SetCaptureCounters(t.ProfileCaptures, t.ProfileSuppressed)
 	// The tracer and journal cannot self-register (they may outlive any one
 	// registry), so this bundle attaches their drop tallies; the most
 	// recently built bundle owns a shared tracer's counter.
@@ -182,6 +207,12 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *Telemetry 
 		}
 		t.AlertTransitions.With(event).Inc()
 		t.AlertsFiring.Set(float64(t.Alerts.Firing()))
+		if firing {
+			// Alerts trigger evidence: capture a profile named after the
+			// firing rule, carrying the rule metric's latest exemplar trace
+			// (see profile.go). No-op until a profile directory is set.
+			t.profileOnAlert(name)
+		}
 	})
 	return t
 }
@@ -226,6 +257,15 @@ func DefaultAlertRules(slo telemetry.SLO) []telemetry.Rule {
 			Metric: "attest_rtt_seconds", Quantile: 0.95, Threshold: slo.MaxRTTP95,
 			FastWindow: DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
 		})
+		// The runtime's own stop-the-world pauses count against the same
+		// time bound the verifier enforces: a GC pause tail at half the RTT
+		// budget means the process — not the network or the prover — is
+		// about to push honest sessions past δ.
+		rules = append(rules, telemetry.Rule{
+			Name: "gc-pause-vs-rtt-bound", Kind: telemetry.RuleQuantile,
+			Metric: telemetry.MetricGCPause, Quantile: 0.99, Threshold: slo.MaxRTTP95 / 2,
+			FastWindow: DefaultAlertFastWindow, SlowWindow: DefaultAlertSlowWindow,
+		})
 	}
 	rules = append(rules, telemetry.Rule{
 		Name: "seed-budget-low", Kind: telemetry.RuleGaugeAbove,
@@ -243,10 +283,12 @@ func (t *Telemetry) SetSLO(slo telemetry.SLO) {
 	t.Alerts.SetRules(DefaultAlertRules(slo))
 }
 
-// ObserveFleet takes one observability sample: collect a history window,
-// then re-evaluate the burn-rate alerts over it. Control-plane work —
-// never called from the attestation hot path.
+// ObserveFleet takes one observability sample: sample the Go runtime into
+// the registry, collect a history window, then re-evaluate the burn-rate
+// alerts over it. Control-plane work — never called from the attestation
+// hot path.
 func (t *Telemetry) ObserveFleet() {
+	t.Runtime.Sample()
 	t.History.Collect()
 	t.Alerts.Evaluate()
 }

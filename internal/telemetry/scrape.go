@@ -50,6 +50,7 @@ type sourceData struct {
 	history []map[string]any // /metrics/history "series" entries
 	devices []map[string]any // /devices entries
 	alerts  []map[string]any // /alerts entries
+	probes  []map[string]any // /probes entries (empty for pre-probe verifiers)
 	healthz map[string]any   // /healthz object
 }
 
@@ -173,6 +174,13 @@ func (f *Federator) scrapeOne(ctx context.Context, client *http.Client, src Scra
 	}
 	if err := f.fetchJSON(ctx, client, base+"/healthz", &d.healthz); err != nil {
 		return nil, err
+	}
+	// /probes is optional: verifiers predating the canary prober 404 it
+	// (with an HTML error body), and a missing canary surface must not
+	// fail the whole pass — unlike the four core surfaces, absence here is
+	// a version skew, not a blind spot. Decode failures yield no records.
+	if err := f.fetchJSON(ctx, client, base+"/probes", &d.probes); err != nil {
+		d.probes = nil
 	}
 	return d, nil
 }
@@ -367,6 +375,7 @@ func getOnly(contentType string, fn func(http.ResponseWriter, *http.Request)) ht
 //	/metrics/history  the union of every source's series, source-labeled
 //	/devices          the union of every source's device health records
 //	/alerts           the union of every source's alert statuses
+//	/probes           the union of every source's canary probe statuses
 //	/healthz          the merged fleet verdict (503 iff any source reports
 //	                  suspect); per-source summaries inline
 //	/federation       scrape health: per-source attempt/failure tallies,
@@ -387,6 +396,9 @@ func (f *Federator) Mux() *http.ServeMux {
 	}))
 	mux.HandleFunc("/alerts", getOnly(contentJSON, func(w http.ResponseWriter, r *http.Request) {
 		_ = writeMergedJSON(w, f.mergeRecords(func(d *sourceData) []map[string]any { return d.alerts }))
+	}))
+	mux.HandleFunc("/probes", getOnly(contentJSON, func(w http.ResponseWriter, r *http.Request) {
+		_ = writeMergedJSON(w, f.mergeRecords(func(d *sourceData) []map[string]any { return d.probes }))
 	}))
 	mux.HandleFunc("/healthz", getOnly(contentJSON, func(w http.ResponseWriter, r *http.Request) {
 		h := f.Health()

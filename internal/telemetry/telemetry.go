@@ -128,6 +128,21 @@ func (h *Histogram) ObserveExemplar(v float64, exemplar uint64) {
 	h.total.Add(1)
 }
 
+// observeN records n observations of value v in one pair of atomic adds.
+// This is the bulk-insert path the runtime collector uses to replay
+// runtime/metrics bucket deltas: the runtime already aggregated the
+// individual events, so re-observing them one at a time would only add
+// cost without adding fidelity.
+func (h *Histogram) observeN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	addFloat(&h.sumBits, v*float64(n))
+	h.total.Add(n)
+}
+
 // NumBuckets returns the bucket count including the +Inf tail.
 func (h *Histogram) NumBuckets() int { return len(h.counts) }
 
